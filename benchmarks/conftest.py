@@ -1,0 +1,15 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one paper artefact (table/figure) at reduced
+resolution and prints the rows/series the paper reports, so a benchmark
+run doubles as the reproduction harness.  pytest-benchmark measures the
+regeneration cost; `pedantic` with one round keeps total runtime sane.
+"""
+
+import pytest
+
+
+def regenerate(benchmark, fn, *args, **kwargs):
+    """Run an artefact generator once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

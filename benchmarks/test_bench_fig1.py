@@ -1,0 +1,18 @@
+"""Regenerates Figure 1: the interference characterization table."""
+
+from conftest import regenerate
+
+from repro.experiments.fig1_interference import run_fig1
+from repro.workloads.traces import load_sweep
+
+
+def test_bench_fig1_interference_table(benchmark):
+    tables = regenerate(benchmark, run_fig1, loads=load_sweep())
+    for table in tables.values():
+        print()
+        print(table.render())
+    # Headline structure of the paper's table.
+    for name, table in tables.items():
+        brain = table.rows["brain"]
+        assert sum(v > 1.0 for v in brain) >= len(brain) - 2, name
+        assert max(table.rows["DRAM"]) > 3.0, name

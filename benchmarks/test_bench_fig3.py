@@ -1,0 +1,22 @@
+"""Regenerates Figure 3: websearch max load under SLO vs (cores, LLC)."""
+
+from conftest import regenerate
+
+from repro.experiments.fig3_convexity import run_fig3
+
+
+def test_bench_fig3_convexity_surface(benchmark):
+    surface = regenerate(
+        benchmark, run_fig3,
+        core_fractions=(0.1, 0.25, 0.5, 0.75, 1.0),
+        way_fractions=(0.1, 0.25, 0.5, 0.75, 1.0))
+    print()
+    print(f"Max load under SLO — {surface.lc_name}")
+    header = "cores\\ways " + " ".join(f"{w:>5d}" for w in surface.way_counts)
+    print(header)
+    for i, cores in enumerate(surface.core_counts):
+        row = " ".join(f"{surface.max_load[i, j] * 100:>4.0f}%"
+                       for j in range(len(surface.way_counts)))
+        print(f"{cores:>10d} {row}")
+    assert surface.is_monotone_nondecreasing()
+    assert surface.max_load[-1, -1] > 0.9

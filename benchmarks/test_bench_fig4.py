@@ -1,0 +1,25 @@
+"""Regenerates Figure 4: LC tail latency under Heracles (all three LC
+workloads x six BE tasks x the load axis)."""
+
+from conftest import regenerate
+
+from repro.analysis.tables import render_load_series_table
+from repro.experiments.fig4_latency_slo import run_fig4
+
+LOADS = (0.05, 0.20, 0.35, 0.50, 0.65, 0.80, 0.95)
+
+
+def test_bench_fig4_latency_slo(benchmark):
+    sweeps = regenerate(benchmark, run_fig4, loads=LOADS, duration_s=700.0)
+    for name, sweep in sweeps.items():
+        series = {"baseline": sweep.baseline_slo}
+        for be_name in sweep.results:
+            series[be_name] = sweep.worst_slo_series(be_name)
+        print()
+        print(render_load_series_table(
+            series, sweep.loads,
+            title=f"{name}: worst tail latency (fraction of SLO)"))
+    # The paper's headline: no SLO violations in any colocation.
+    for name, sweep in sweeps.items():
+        for be_name in sweep.results:
+            assert sweep.no_violations(be_name), (name, be_name)

@@ -1,0 +1,24 @@
+"""Regenerates Figure 5: effective machine utilization under Heracles."""
+
+from conftest import regenerate
+
+from repro.analysis.tables import render_load_series_table
+from repro.experiments.fig5_emu import emu_table, run_fig5
+
+LOADS = (0.10, 0.25, 0.40, 0.55, 0.70, 0.85)
+
+
+def test_bench_fig5_emu(benchmark):
+    sweeps = regenerate(benchmark, run_fig5, loads=LOADS, duration_s=700.0)
+    series = {"baseline (EMU=load)": list(LOADS)}
+    series.update(emu_table(sweeps))
+    print()
+    print(render_load_series_table(series, list(LOADS),
+                                   title="Effective machine utilization"))
+    # Significant EMU increases in all cases (paper: +~x1.3 to x4 over
+    # baseline at low loads).
+    for lc_name, sweep in sweeps.items():
+        for be_name in sweep.results:
+            emu = sweep.emu_series(be_name)
+            assert max(e - l for e, l in zip(emu, LOADS)) > 0.15, (
+                lc_name, be_name)

@@ -1,0 +1,34 @@
+"""Regenerates Figure 6: DRAM bandwidth, CPU utilization, and CPU power
+under Heracles."""
+
+from conftest import regenerate
+
+from repro.analysis.tables import render_load_series_table
+from repro.experiments.fig6_shared_resources import (FIG6_METRICS,
+                                                     energy_efficiency_gain,
+                                                     metric_fraction_series,
+                                                     run_fig6)
+
+LOADS = (0.20, 0.50, 0.80)
+BE_TASKS = ("brain", "streetview", "stream-DRAM", "cpu_pwr")
+
+
+def test_bench_fig6_shared_resources(benchmark):
+    sweeps = regenerate(benchmark, run_fig6, be_tasks=BE_TASKS,
+                        loads=LOADS, duration_s=700.0)
+    for lc_name, sweep in sweeps.items():
+        for metric in FIG6_METRICS:
+            series = {be: metric_fraction_series(sweep, be, metric)
+                      for be in sweep.results}
+            print()
+            print(render_load_series_table(
+                series, sweep.loads, title=f"{lc_name} {metric}"))
+    ws = sweeps["websearch"]
+    # DRAM-hungry BE tasks keep DRAM below the 90% controller limit.
+    for be in BE_TASKS:
+        assert max(metric_fraction_series(ws, be, "dram")) <= 0.95
+    # The 20%-load energy-efficiency claim (§5.2: 2.3-3.4x): colocation
+    # multiplies EMU far faster than it multiplies power.
+    gain = energy_efficiency_gain(ws, "brain", 0.20)
+    print(f"\nwebsearch+brain @20% load: energy-efficiency gain {gain:.2f}x")
+    assert gain > 1.5

@@ -1,0 +1,27 @@
+"""Regenerates Figure 7: memkeyval network bandwidth with iperf."""
+
+from conftest import regenerate
+
+from repro.analysis.tables import render_load_series_table
+from repro.experiments.fig7_network_bw import run_fig7
+from repro.hardware.spec import default_machine_spec
+
+LOADS = (0.10, 0.25, 0.40, 0.55, 0.70, 0.85, 0.95)
+
+
+def test_bench_fig7_network_bw(benchmark):
+    points = regenerate(benchmark, run_fig7, loads=LOADS, duration_s=700.0)
+    link = default_machine_spec().nic.link_gbps
+    print()
+    print(render_load_series_table(
+        {
+            "memkeyval (frac of link)": [p.lc_gbps / link for p in points],
+            "iperf (frac of link)": [p.be_gbps / link for p in points],
+            "worst tail (frac of SLO)": [p.worst_slo for p in points],
+        },
+        list(LOADS), title="memkeyval network bandwidth under Heracles"))
+    # memkeyval keeps its SLO and its bandwidth; iperf takes what is
+    # left, shrinking as the LC load grows.
+    assert all(p.worst_slo <= 1.0 for p in points)
+    assert points[-1].be_gbps < points[0].be_gbps
+    assert points[-1].lc_gbps > points[0].lc_gbps

@@ -1,0 +1,24 @@
+"""Regenerates the §5.3 TCO analysis table."""
+
+from conftest import regenerate
+
+from repro.analysis.tables import render_table
+from repro.experiments.tco_table import run_tco_table
+
+
+def test_bench_tco_table(benchmark):
+    rows = regenerate(benchmark, run_tco_table)
+    print()
+    print(render_table(
+        ["baseline util", "Heracles util", "Heracles tput/TCO",
+         "energy-prop tput/TCO"],
+        [[f"{r.baseline_utilization:.0%}", f"{r.heracles_utilization:.0%}",
+          f"+{r.heracles_gain:.1%}", f"+{r.energy_prop_gain:.1%}"]
+         for r in rows],
+        title="Throughput/TCO improvements (10,000-server cluster)"))
+    by_util = {r.baseline_utilization: r for r in rows}
+    # Paper: +15% at 75% baseline, +306% at 20%; energy-prop ~3% / <7%.
+    assert abs(by_util[0.75].heracles_gain - 0.15) < 0.05
+    assert abs(by_util[0.20].heracles_gain - 3.06) < 0.20
+    assert by_util[0.20].energy_prop_gain < 0.07
+    assert by_util[0.75].energy_prop_gain < 0.05

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Quickstart: colocate Google-style websearch with a batch job.
+
+Builds one simulated dual-socket server running the websearch leaf at
+50% load, starts the `brain` deep-learning batch task next to it under
+the Heracles controller, and reports what the paper's Figure 4/5 report:
+worst-case tail latency vs the SLO, and effective machine utilization.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import HeraclesController, build_colocation
+
+
+def main() -> None:
+    sim = build_colocation("websearch", "brain", load=0.50, seed=42)
+    HeraclesController.for_sim(sim)
+
+    history = sim.run(900)  # 15 simulated minutes
+
+    worst = history.worst_window_slo(skip_s=240)
+    emu = history.mean_emu(skip_s=240)
+    final = history.last()
+
+    print("websearch + brain under Heracles (load 50%)")
+    print(f"  worst 60s tail latency : {worst * 100:.0f}% of SLO "
+          f"({'OK' if worst <= 1.0 else 'VIOLATION'})")
+    print(f"  effective machine util : {emu * 100:.0f}% "
+          f"(LC alone would be 50%)")
+    print(f"  final BE allocation    : {final.be_cores} cores, "
+          f"{final.be_llc_ways} LLC ways, "
+          f"DVFS cap {final.be_dvfs_cap_ghz or 'none'}")
+    print(f"  DRAM bandwidth         : {final.dram_bw_gbps:.0f} GB/s "
+          f"({final.dram_utilization * 100:.0f}% of the busiest socket)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""repro — a reproduction of *Heracles: Improving Resource Efficiency at
+Scale* (Lo et al., ISCA 2015).
+
+Heracles is a per-server feedback controller that safely colocates
+best-effort batch tasks with a latency-critical service by coordinating
+four isolation mechanisms: cpuset core pinning, CAT cache
+way-partitioning, per-core DVFS power shifting, and HTB network traffic
+control.  This package implements the controller plus the full simulated
+substrate it needs — server hardware, OS mechanisms, workload models,
+and the experiment harness that regenerates every figure of the paper.
+
+Quickstart::
+
+    from repro import build_colocation, HeraclesController
+
+    sim = build_colocation("websearch", "brain", load=0.5)
+    HeraclesController.for_sim(sim)
+    history = sim.run(600)
+    print(history.max_slo_fraction(), history.mean_emu())
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .core import (HeraclesConfig, HeraclesController, LcDramBandwidthModel,
+                   profile_lc_dram_model)
+from .hardware import MachineSpec, Server, default_machine_spec
+from .sim import ColocationSim, SimHistory
+from .workloads import (ConstantLoad, LoadTrace, make_be_workload,
+                        make_lc_workload)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HeraclesConfig", "HeraclesController",
+    "LcDramBandwidthModel", "profile_lc_dram_model",
+    "MachineSpec", "Server", "default_machine_spec",
+    "ColocationSim", "SimHistory",
+    "ConstantLoad", "LoadTrace", "make_be_workload", "make_lc_workload",
+    "build_colocation",
+    "__version__",
+]
+
+
+def build_colocation(lc_name: str, be_name: str,
+                     load: float = 0.5,
+                     trace: Optional[LoadTrace] = None,
+                     spec: Optional[MachineSpec] = None,
+                     seed: int = 0) -> ColocationSim:
+    """Convenience constructor: one LC service + one BE task on a server.
+
+    Args:
+        lc_name: one of ``websearch``, ``ml_cluster``, ``memkeyval``.
+        be_name: one of ``brain``, ``streetview``, ``stream-LLC``,
+            ``stream-DRAM``, ``cpu_pwr``, ``iperf``.
+        load: constant LC load fraction (ignored if ``trace`` given).
+        trace: optional explicit load trace.
+        spec: optional machine description (defaults to the paper's
+            dual-socket server).
+        seed: RNG seed for tail-latency noise.
+    """
+    spec = spec or default_machine_spec()
+    lc = make_lc_workload(lc_name, spec)
+    be = make_be_workload(be_name, spec)
+    trace = trace or ConstantLoad(load)
+    return ColocationSim(lc=lc, trace=trace, be=be, spec=spec, seed=seed)

@@ -1,0 +1,55 @@
+"""Effective Machine Utilization (EMU).
+
+§5.1: "we compute the throughput rate of the batch workload with
+Heracles and normalize it to the throughput of the batch workload
+running alone on a single server.  We then define the Effective Machine
+Utilization (EMU) = LC Throughput + BE Throughput.  Note that Effective
+Machine Utilization can be above 100% due to better binpacking of
+shared resources."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+def effective_machine_utilization(lc_throughput: float,
+                                  be_throughput: float) -> float:
+    """EMU for one server at one instant.
+
+    Args:
+        lc_throughput: LC load as a fraction of the server's peak.
+        be_throughput: BE progress normalized to the BE task alone on
+            one server.
+    """
+    if lc_throughput < 0 or be_throughput < 0:
+        raise ValueError("throughputs must be non-negative")
+    return lc_throughput + be_throughput
+
+
+@dataclass
+class EmuSummary:
+    """Aggregate EMU statistics over a run or a cluster."""
+
+    mean: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def from_series(cls, values: Sequence[float]) -> "EmuSummary":
+        if not values:
+            raise ValueError("need at least one EMU sample")
+        values = list(values)
+        return cls(mean=sum(values) / len(values),
+                   minimum=min(values),
+                   maximum=max(values))
+
+
+def cluster_emu(per_leaf_emu: Iterable[float]) -> float:
+    """Cluster-level EMU: the average across leaves (each leaf is one
+    server; the cluster's effective utilization is the mean)."""
+    values = list(per_leaf_emu)
+    if not values:
+        raise ValueError("need at least one leaf")
+    return sum(values) / len(values)

@@ -1,0 +1,13 @@
+"""Baseline policies Heracles is compared against."""
+
+from .energy_prop import EnergyProportionalController, tco_comparison
+from .os_isolation import (OsIsolationPoint, os_isolation_sweep,
+                           violates_everywhere)
+from .static import (StaticPartitionController, conservative_static,
+                     optimistic_static)
+
+__all__ = [
+    "EnergyProportionalController", "tco_comparison",
+    "OsIsolationPoint", "os_isolation_sweep", "violates_everywhere",
+    "StaticPartitionController", "conservative_static", "optimistic_static",
+]

@@ -1,0 +1,98 @@
+"""Energy-proportionality baseline controller (PEGASUS-like).
+
+§5.3 compares Heracles against "a controller that focuses only on
+improving energy-proportionality" [47] — one that scales CPU power with
+load instead of filling idle capacity with BE work.  Its benefit is a
+smaller power bill at the *same* throughput, which the TCO model shows
+is worth a few percent at best; Heracles' benefit is more throughput on
+the same (mostly fixed-cost) infrastructure.
+
+For completeness this module also provides a simulation-level
+controller that applies DVFS to the LC cores according to load, so the
+power draw of the energy-proportional alternative can be measured in
+the same harness (the Fig. 6 power series and the ablation benches).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis.tco import TcoModel
+from ..hardware.counters import CounterBank
+from ..sim.actuators import Actuators
+from ..sim.monitors import LatencyMonitor
+
+
+class EnergyProportionalController:
+    """Iso-latency DVFS on the LC cores, no colocation (PEGASUS-like).
+
+    Polls latency; when slack is large, lowers the whole machine's
+    frequency cap to save power; raises it as slack shrinks.  Never
+    enables BE tasks.
+    """
+
+    def __init__(self, actuators: Actuators, monitor: LatencyMonitor,
+                 slo_target_ms: float,
+                 poll_period_s: float = 15.0,
+                 lower_slack: float = 0.30,
+                 raise_slack: float = 0.10):
+        if slo_target_ms <= 0:
+            raise ValueError("SLO target must be positive")
+        if not 0.0 <= raise_slack < lower_slack <= 1.0:
+            raise ValueError("need raise_slack < lower_slack")
+        self.actuators = actuators
+        self.monitor = monitor
+        self.slo_target_ms = slo_target_ms
+        self.poll_period_s = poll_period_s
+        self.lower_slack = lower_slack
+        self.raise_slack = raise_slack
+        self._last_poll_s: Optional[float] = None
+        self._lc_cap_ghz: Optional[float] = None
+        self.actuators.disable_be()
+
+    @property
+    def lc_cap_ghz(self) -> Optional[float]:
+        return self._lc_cap_ghz
+
+    def step(self, now_s: float) -> None:
+        if (self._last_poll_s is not None
+                and now_s - self._last_poll_s < self.poll_period_s):
+            return
+        self._last_poll_s = now_s
+        latency = self.monitor.poll_latency_ms(now_s)
+        if latency is None:
+            return
+        slack = (self.slo_target_ms - latency) / self.slo_target_ms
+        turbo = self.actuators.spec.socket.turbo
+        if slack > self.lower_slack:
+            current = self._lc_cap_ghz or turbo.max_turbo_ghz
+            self._lc_cap_ghz = turbo.clamp_ghz(current - turbo.step_ghz)
+        elif slack < self.raise_slack and self._lc_cap_ghz is not None:
+            raised = self._lc_cap_ghz + 2 * turbo.step_ghz
+            if raised >= turbo.max_turbo_ghz - 1e-9:
+                self._lc_cap_ghz = None
+            else:
+                self._lc_cap_ghz = turbo.clamp_ghz(raised)
+
+    def apply_cap(self) -> Optional[float]:
+        """The frequency cap the engine should apply to LC cores."""
+        return self._lc_cap_ghz
+
+
+def tco_comparison(baseline_utilization: float,
+                   heracles_utilization: float = 0.90,
+                   idle_savings_fraction: float = 0.5,
+                   model: Optional[TcoModel] = None) -> dict:
+    """The §5.3 comparison: Heracles colocation vs energy proportionality.
+
+    Returns a dict with both throughput/TCO gains, ready for the TCO
+    table experiment.
+    """
+    model = model or TcoModel()
+    return {
+        "baseline_utilization": baseline_utilization,
+        "heracles_gain": model.throughput_per_tco_gain(
+            baseline_utilization, heracles_utilization),
+        "energy_proportionality_gain": model.energy_proportionality_gain(
+            baseline_utilization, idle_savings_fraction),
+    }

@@ -1,0 +1,87 @@
+"""Static partitioning baselines.
+
+§3.3 concludes that "any static policy would be either too conservative
+(missing opportunities for colocation) or overly optimistic (leading to
+SLO violations)".  These controllers make that argument quantitative:
+they configure the same four isolation mechanisms Heracles manages, but
+once, at startup, and never react to load or slack.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.actuators import Actuators
+
+
+class StaticPartitionController:
+    """Fixed resource split between LC and BE, configured once.
+
+    Implements the engine's Controller protocol; ``step`` is a no-op
+    after the initial actuation, which is the whole point.
+    """
+
+    def __init__(self, actuators: Actuators,
+                 be_cores: int,
+                 be_llc_ways: int,
+                 be_dvfs_cap_ghz: Optional[float] = None,
+                 be_net_ceil_gbps: Optional[float] = None):
+        if be_cores < 0 or be_llc_ways < 0:
+            raise ValueError("static grants must be non-negative")
+        self.actuators = actuators
+        self._configured = False
+        self._be_cores = be_cores
+        self._be_llc_ways = be_llc_ways
+        self._be_dvfs_cap_ghz = be_dvfs_cap_ghz
+        self._be_net_ceil_gbps = be_net_ceil_gbps
+
+    def step(self, now_s: float) -> None:
+        if self._configured:
+            return
+        self._configured = True
+        self.actuators.enable_be()
+        self.actuators.set_be_cores(self._be_cores)
+        self.actuators.set_llc_split(self._be_llc_ways)
+        if self._be_dvfs_cap_ghz is not None:
+            cap = self.actuators.be_dvfs_cap_ghz
+            # Step the cap down from max turbo to the requested value.
+            turbo = self.actuators.spec.socket.turbo
+            steps = max(0, round((turbo.max_turbo_ghz
+                                  - self._be_dvfs_cap_ghz)
+                                 / turbo.step_ghz))
+            if steps:
+                self.actuators.lower_be_frequency(steps)
+        self.actuators.set_be_net_ceil(self._be_net_ceil_gbps)
+
+
+def conservative_static(actuators: Actuators) -> StaticPartitionController:
+    """A split safe at *any* LC load: BE gets the scraps.
+
+    Two cores, two LLC ways, minimum frequency, 5% of the link — safe
+    everywhere, and therefore leaves most of the machine idle at low
+    load (the "too conservative" arm of the paper's argument).
+    """
+    turbo = actuators.spec.socket.turbo
+    return StaticPartitionController(
+        actuators,
+        be_cores=2,
+        be_llc_ways=2,
+        be_dvfs_cap_ghz=turbo.min_ghz,
+        be_net_ceil_gbps=0.05 * actuators.spec.nic.link_gbps,
+    )
+
+
+def optimistic_static(actuators: Actuators) -> StaticPartitionController:
+    """A split sized for *low* LC load: BE gets half the machine.
+
+    Great EMU while load is low; violates the SLO as soon as load rises
+    (the "overly optimistic" arm).
+    """
+    spec = actuators.spec
+    return StaticPartitionController(
+        actuators,
+        be_cores=spec.total_cores // 2,
+        be_llc_ways=spec.socket.llc_ways // 2,
+        be_dvfs_cap_ghz=None,
+        be_net_ceil_gbps=0.5 * spec.nic.link_gbps,
+    )

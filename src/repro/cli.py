@@ -1,0 +1,67 @@
+"""Command-line entry point: ``python -m repro.cli <experiment>``.
+
+Runs any of the paper's experiments, a quickstart demo, or the whole
+suite, printing the same tables/series the paper's figures report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .experiments import (fig1_interference, fig3_convexity,
+                          fig4_latency_slo, fig5_emu, fig6_shared_resources,
+                          fig7_network_bw, fig8_cluster, tco_table)
+
+EXPERIMENTS: Dict[str, Callable[[], None]] = {
+    "fig1": fig1_interference.main,
+    "fig3": fig3_convexity.main,
+    "fig4": fig4_latency_slo.main,
+    "fig5": fig5_emu.main,
+    "fig6": fig6_shared_resources.main,
+    "fig7": fig7_network_bw.main,
+    "fig8": fig8_cluster.main,
+    "tco": tco_table.main,
+}
+
+
+def quickstart() -> None:
+    """The README demo: websearch + brain at 50% load."""
+    from . import HeraclesController, build_colocation
+    sim = build_colocation("websearch", "brain", load=0.50, seed=42)
+    HeraclesController.for_sim(sim)
+    history = sim.run(900)
+    print(f"worst 60s tail: {history.worst_window_slo(skip_s=240):.0%} "
+          f"of SLO; mean EMU: {history.mean_emu(skip_s=240):.0%}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction harness for 'Heracles: Improving "
+                    "Resource Efficiency at Scale' (ISCA 2015).")
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["quickstart", "all"],
+        help="which artefact to regenerate (fig8 takes minutes; "
+             "'all' runs everything)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "quickstart":
+        quickstart()
+        return 0
+    if args.experiment == "all":
+        for name in sorted(EXPERIMENTS):
+            print(f"==== {name} " + "=" * 50)
+            EXPERIMENTS[name]()
+        return 0
+    EXPERIMENTS[args.experiment]()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,144 @@
+"""The websearch minicluster experiment (§5.3, Figure 8).
+
+Tens of leaf servers behind one fan-out root, driven by a 12-hour
+diurnal trace (load 20%-90%).  Heracles runs on every leaf; brain runs
+on half the leaves and streetview on the other half.  The experiment
+reports, over the trace: root latency vs the cluster SLO, and
+cluster-wide EMU (average ~90%, minimum ~80% in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.config import HeraclesConfig
+from ..core.dram_model import profile_lc_dram_model
+from ..hardware.spec import MachineSpec, default_machine_spec
+from ..workloads.latency_critical import make_lc_workload
+from ..workloads.traces import LoadTrace, websearch_cluster_trace
+from .leaf import Leaf, LeafConfig
+from .root import RootAggregator
+
+
+@dataclass
+class ClusterRecord:
+    """Cluster-level observables at one instant."""
+
+    t_s: float
+    load: float
+    root_latency_ms: float
+    root_slo_fraction: float
+    emu: float
+
+
+@dataclass
+class ClusterHistory:
+    records: List[ClusterRecord] = field(default_factory=list)
+
+    def column(self, name: str) -> np.ndarray:
+        return np.array([getattr(r, name) for r in self.records])
+
+    def max_root_slo_fraction(self, skip_s: float = 0.0) -> float:
+        vals = [r.root_slo_fraction for r in self.records if r.t_s >= skip_s]
+        return max(vals) if vals else 0.0
+
+    def mean_emu(self, skip_s: float = 0.0) -> float:
+        vals = [r.emu for r in self.records if r.t_s >= skip_s]
+        return float(np.mean(vals)) if vals else 0.0
+
+    def min_emu(self, skip_s: float = 0.0) -> float:
+        vals = [r.emu for r in self.records if r.t_s >= skip_s]
+        return min(vals) if vals else 0.0
+
+
+class WebsearchCluster:
+    """A managed (or baseline) websearch minicluster."""
+
+    def __init__(self,
+                 leaves: int = 20,
+                 spec: Optional[MachineSpec] = None,
+                 trace: Optional[LoadTrace] = None,
+                 heracles_config: Optional[HeraclesConfig] = None,
+                 managed: bool = True,
+                 record_period_s: float = 30.0,
+                 seed: int = 0):
+        if leaves < 2:
+            raise ValueError("a cluster needs at least two leaves")
+        self.spec = spec or default_machine_spec()
+        self.trace = trace or websearch_cluster_trace(seed=seed)
+        self.record_period_s = record_period_s
+        self.managed = managed
+
+        # SLO targets.  The root SLO is the baseline's µ/30s at 90% load
+        # without colocation (§5.3) — which, through the fan-out, already
+        # includes the straggler amplification of the worst leaf and its
+        # measurement noise.  The uniform leaf target is the per-leaf
+        # tail at that operating point.
+        reference = make_lc_workload("websearch", self.spec)
+        self.leaf_slo_ms = self._baseline_tail_ms(reference, load=0.90)
+        noise_sigma = reference.profile.noise_sigma
+        # E[max of n lognormal noise draws] grows ~ sigma * sqrt(2 ln n).
+        straggler_noise = float(np.exp(
+            noise_sigma * np.sqrt(2.0 * np.log(max(2, leaves)))))
+        self.root_slo_ms = self.leaf_slo_ms * straggler_noise
+
+        # "Heracles shares the same offline model ... across all leaves."
+        shared_model = profile_lc_dram_model(reference) if managed else None
+
+        self.leaves: List[Leaf] = []
+        for i in range(leaves):
+            be_name = "brain" if i % 2 == 0 else "streetview"
+            leaf = Leaf(
+                LeafConfig(index=i, be_name=be_name,
+                           leaf_slo_ms=self.leaf_slo_ms,
+                           seed=seed * 1000 + i),
+                trace=self.trace, spec=self.spec,
+                shared_dram_model=shared_model,
+                heracles_config=heracles_config,
+                managed=managed)
+            self.leaves.append(leaf)
+
+        self.root = RootAggregator()
+        self.history = ClusterHistory()
+        self.time_s = 0.0
+
+    @staticmethod
+    def _baseline_tail_ms(lc, load: float) -> float:
+        from ..hardware.server import Server
+        from ..workloads.base import Allocation, spread_cores
+        server = Server(lc.spec)
+        alloc = Allocation(cores_by_socket=spread_cores(
+            lc.spec.total_cores, lc.spec))
+        usages = server.resolve([lc.demand(load, alloc)])
+        return lc.tail_latency_ms(
+            load, usages[lc.name],
+            link_utilization=server.telemetry.link_utilization)
+
+    # ------------------------------------------------------------------
+
+    def tick(self) -> None:
+        tails = []
+        emus = []
+        for leaf in self.leaves:
+            record = leaf.tick()
+            tails.append(record.tail_latency_ms)
+            emus.append(record.emu)
+        root_latency = self.root.record(self.time_s, tails)
+        if (self.time_s % self.record_period_s) < 1.0:
+            windowed = self.root.windowed_latency_ms()
+            self.history.records.append(ClusterRecord(
+                t_s=self.time_s,
+                load=self.trace.clipped(self.time_s),
+                root_latency_ms=windowed,
+                root_slo_fraction=windowed / self.root_slo_ms,
+                emu=float(np.mean(emus)),
+            ))
+        self.time_s += 1.0
+
+    def run(self, duration_s: float) -> ClusterHistory:
+        for _ in range(int(duration_s)):
+            self.tick()
+        return self.history

@@ -1,0 +1,28 @@
+"""Heracles: the paper's contribution — a feedback controller that
+coordinates four isolation mechanisms to colocate BE tasks with an LC
+service without SLO violations."""
+
+from .config import HeraclesConfig
+from .controller import HeraclesController
+from .core_memory import CoreMemoryController
+from .dram_model import LcDramBandwidthModel, profile_lc_dram_model
+from .hw_dram import (HardwareCountedCoreMemoryController,
+                      attach_hardware_counted_heracles)
+from .mba import MbaCoreMemoryController, attach_mba_heracles
+from .network import NetworkController
+from .power import PowerController, guaranteed_frequency_ghz
+from .state import ControlState, GrowthPhase
+from .top_level import TopLevelController
+
+__all__ = [
+    "HeraclesConfig", "HeraclesController",
+    "CoreMemoryController",
+    "LcDramBandwidthModel", "profile_lc_dram_model",
+    "HardwareCountedCoreMemoryController",
+    "attach_hardware_counted_heracles",
+    "MbaCoreMemoryController", "attach_mba_heracles",
+    "NetworkController",
+    "PowerController", "guaranteed_frequency_ghz",
+    "ControlState", "GrowthPhase",
+    "TopLevelController",
+]

@@ -1,0 +1,85 @@
+"""Power subcontroller — Algorithm 3 of the paper.
+
+Ensures there is enough power slack to run the LC workload at a minimum
+guaranteed frequency (measured when the LC workload runs alone at full
+load)::
+
+    while True:
+        power = PollRAPL()
+        ls_freq = PollFrequency(ls_cores)
+        if power > 0.90 * TDP and ls_freq < guaranteed:
+            LowerFrequency(be_cores)
+        elif power <= 0.90 * TDP and ls_freq >= guaranteed:
+            IncreaseFrequency(be_cores)
+        sleep(2)
+
+Both conditions must hold before acting "to avoid confusion when the LC
+cores enter active-idle modes, which also tends to lower frequency
+readings" (§4.3).  DVFS steps are 100 MHz.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..hardware.counters import CounterBank
+from ..hardware.power import CorePowerRequest, SocketPowerModel
+from ..hardware.spec import MachineSpec
+from ..sim.actuators import Actuators
+from ..workloads.latency_critical import LatencyCriticalWorkload
+from .config import HeraclesConfig
+
+
+def guaranteed_frequency_ghz(lc: LatencyCriticalWorkload,
+                             spec: Optional[MachineSpec] = None) -> float:
+    """Frequency the LC workload sustains alone at full load.
+
+    This is the calibration measurement Heracles performs once per LC
+    workload: run it at 100% load with every core and read the steady
+    frequency (turbo may be partially available depending on the
+    workload's power draw).
+    """
+    spec = spec or lc.spec
+    model = SocketPowerModel(spec.socket)
+    request = CorePowerRequest(task=lc.name, cores=spec.socket.cores,
+                               activity=lc.profile.compute_activity)
+    resolution = model.resolve([request])
+    return resolution.freq_of(lc.name)
+
+
+class PowerController:
+    """Algorithm 3: keep LC cores at or above the guaranteed frequency."""
+
+    def __init__(self, config: HeraclesConfig, actuators: Actuators,
+                 counters: CounterBank, lc_task: str,
+                 guaranteed_ghz: float):
+        config.validate()
+        if guaranteed_ghz <= 0:
+            raise ValueError("guaranteed frequency must be positive")
+        self.config = config
+        self.actuators = actuators
+        self.counters = counters
+        self.lc_task = lc_task
+        self.guaranteed_ghz = guaranteed_ghz
+        self._last_step_s: Optional[float] = None
+
+    def due(self, now_s: float) -> bool:
+        return (self._last_step_s is None
+                or now_s - self._last_step_s >= self.config.power_period_s)
+
+    def step(self, now_s: float) -> None:
+        if not self.due(now_s):
+            return
+        self._last_step_s = now_s
+
+        power_fraction = self.counters.max_power_fraction_of_tdp()
+        ls_freq = self.counters.freq_of(self.lc_task)
+        if ls_freq is None:
+            return
+        threshold = self.config.power_tdp_threshold
+
+        if power_fraction > threshold and ls_freq < self.guaranteed_ghz:
+            if self.actuators.be_cores > 0:
+                self.actuators.lower_be_frequency()
+        elif power_fraction <= threshold and ls_freq >= self.guaranteed_ghz:
+            self.actuators.raise_be_frequency()

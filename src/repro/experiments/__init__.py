@@ -1,0 +1,20 @@
+"""Experiment harness: one module per paper table/figure.
+
+* :mod:`.fig1_interference` — the §3 characterization table.
+* :mod:`.fig3_convexity` — max load under SLO vs (cores, LLC).
+* :mod:`.fig4_latency_slo` — tail latency under Heracles (also the
+  shared sweep for Figs. 5-7).
+* :mod:`.fig5_emu` — effective machine utilization.
+* :mod:`.fig6_shared_resources` — DRAM/CPU/power utilization.
+* :mod:`.fig7_network_bw` — memkeyval egress bandwidth with iperf.
+* :mod:`.fig8_cluster` — the 12-hour websearch cluster.
+* :mod:`.tco_table` — the §5.3 TCO analysis.
+"""
+
+from .common import (CharacterizationResult, ColocationResult, baseline_cell,
+                     characterization_cell, run_colocation)
+
+__all__ = [
+    "CharacterizationResult", "ColocationResult", "baseline_cell",
+    "characterization_cell", "run_colocation",
+]

@@ -1,0 +1,104 @@
+"""Figure 4: LC tail latency under Heracles across loads and BE tasks.
+
+"At all loads and in all colocation cases, there are no SLO violations
+with Heracles" (§5.2) — the headline result.  For each LC workload and
+each BE colocation, sweep load 5%..95% and record the worst-case
+windowed tail latency as a fraction of the SLO, plus the no-colocation
+baseline.
+
+Figures 5, 6 and 7 are different projections of the same runs, so the
+sweep is shared: :func:`run_sweep` returns the full
+:class:`~repro.experiments.common.ColocationResult` grid and each
+figure module extracts its series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..hardware.spec import MachineSpec, default_machine_spec
+from ..workloads.latency_critical import LC_PROFILES
+from .common import ColocationResult, baseline_cell, run_colocation
+
+#: BE tasks shown in Figure 4 (iperf omitted for websearch/ml_cluster in
+#: the paper's plot because they are network-insensitive; we compute it
+#: anyway).
+FIG4_BE_TASKS = ("stream-LLC", "stream-DRAM", "cpu_pwr", "brain",
+                 "streetview", "iperf")
+
+#: A lighter load axis than the paper's 19 points, dense enough to show
+#: the shape; pass ``loads=load_sweep()`` for the full grid.
+DEFAULT_LOADS = (0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95)
+
+
+@dataclass
+class ColocationSweep:
+    """All Figure 4-7 measurements for one LC workload."""
+
+    lc_name: str
+    loads: List[float]
+    baseline_slo: List[float] = field(default_factory=list)
+    results: Dict[str, List[ColocationResult]] = field(default_factory=dict)
+
+    def worst_slo_series(self, be_name: str) -> List[float]:
+        return [r.history.worst_window_slo(skip_s=240.0)
+                for r in self.results[be_name]]
+
+    def emu_series(self, be_name: str) -> List[float]:
+        return [r.mean_emu for r in self.results[be_name]]
+
+    def metric_series(self, be_name: str, attr: str) -> List[float]:
+        return [getattr(r, attr) for r in self.results[be_name]]
+
+    def no_violations(self, be_name: str, threshold: float = 1.0) -> bool:
+        return all(v <= threshold for v in self.worst_slo_series(be_name))
+
+
+def run_sweep(lc_name: str,
+              be_tasks: Sequence[str] = FIG4_BE_TASKS,
+              loads: Sequence[float] = DEFAULT_LOADS,
+              duration_s: float = 900.0,
+              spec: Optional[MachineSpec] = None,
+              seed: int = 0) -> ColocationSweep:
+    """Run the Heracles colocation grid for one LC workload."""
+    if lc_name not in LC_PROFILES:
+        raise KeyError(f"unknown LC workload {lc_name!r}")
+    spec = spec or default_machine_spec()
+    sweep = ColocationSweep(lc_name=lc_name, loads=list(loads))
+    from ..workloads.latency_critical import make_lc_workload
+    lc = make_lc_workload(lc_name, spec)
+    sweep.baseline_slo = [baseline_cell(lc, load, spec) for load in loads]
+    for be_name in be_tasks:
+        sweep.results[be_name] = [
+            run_colocation(lc_name, be_name, load,
+                           duration_s=duration_s, spec=spec, seed=seed)
+            for load in loads
+        ]
+    return sweep
+
+
+def run_fig4(lc_names: Optional[Sequence[str]] = None,
+             loads: Sequence[float] = DEFAULT_LOADS,
+             duration_s: float = 900.0) -> Dict[str, ColocationSweep]:
+    """The full Figure 4 grid (shared by Figs. 5-7)."""
+    lc_names = lc_names or sorted(LC_PROFILES)
+    return {name: run_sweep(name, loads=loads, duration_s=duration_s)
+            for name in lc_names}
+
+
+def main() -> None:
+    from ..analysis.tables import render_load_series_table
+    sweeps = run_fig4()
+    for name, sweep in sweeps.items():
+        series = {"baseline": sweep.baseline_slo}
+        for be_name in sweep.results:
+            series[be_name] = sweep.worst_slo_series(be_name)
+        print(render_load_series_table(
+            series, sweep.loads,
+            title=f"{name}: worst-case tail latency (fraction of SLO)"))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Figure 6: shared-resource utilization under Heracles.
+
+Three metric families per LC workload, as a function of load and
+colocated BE task:
+
+* **DRAM bandwidth** (% of available) — Heracles sizes BE tasks to stay
+  clear of saturation; stream-DRAM/streetview colocations run high DRAM
+  with few cores.
+* **CPU utilization** (% of cores in use) — compute-bound colocations
+  (brain, cpu_pwr) fill the cores instead.
+* **CPU power** (% of TDP) — rises with colocation; the 20%-load case
+  shows the energy-efficiency win: EMU triples while power grows
+  modestly (2.3-3.4x efficiency gain, §5.2).
+
+These are projections of the Figure 4 sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from .fig4_latency_slo import (DEFAULT_LOADS, FIG4_BE_TASKS,
+                               ColocationSweep, run_sweep)
+
+#: metric attribute on ColocationResult -> normalizer
+FIG6_METRICS = {
+    "dram": "mean_dram_gbps",
+    "cpu": "mean_cpu_utilization",
+    "power": "mean_power_fraction",
+}
+
+
+def run_fig6(lc_names: Optional[Sequence[str]] = None,
+             be_tasks: Sequence[str] = FIG4_BE_TASKS,
+             loads: Sequence[float] = DEFAULT_LOADS,
+             duration_s: float = 900.0) -> Dict[str, ColocationSweep]:
+    lc_names = lc_names or ("websearch", "ml_cluster", "memkeyval")
+    return {name: run_sweep(name, be_tasks=be_tasks, loads=loads,
+                            duration_s=duration_s)
+            for name in lc_names}
+
+
+def metric_fraction_series(sweep: ColocationSweep, be_name: str,
+                           metric: str) -> list:
+    """One metric series normalized to machine capacity where needed."""
+    if metric not in FIG6_METRICS:
+        raise KeyError(f"unknown metric {metric!r}; "
+                       f"choose from {sorted(FIG6_METRICS)}")
+    attr = FIG6_METRICS[metric]
+    values = sweep.metric_series(be_name, attr)
+    if metric == "dram":
+        from ..hardware.spec import default_machine_spec
+        capacity = default_machine_spec().total_dram_bw_gbps
+        return [v / capacity for v in values]
+    return values
+
+
+def energy_efficiency_gain(sweep: ColocationSweep, be_name: str,
+                           load: float) -> float:
+    """The §5.2 efficiency arithmetic at one load point:
+    (EMU achieved / baseline load) / (power achieved / baseline power).
+
+    Baseline power is approximated by the same run's idle-plus-LC
+    component, i.e. what the server would draw at `load` alone — we
+    recompute it from a no-BE run embedded in the sweep's baseline data.
+    """
+    idx = sweep.loads.index(load)
+    result = sweep.results[be_name][idx]
+    emu_gain = result.mean_emu / max(1e-9, load)
+    # Power at the same load without colocation.
+    from ..hardware.server import Server
+    from ..workloads.base import Allocation, spread_cores
+    from ..workloads.latency_critical import make_lc_workload
+    lc = make_lc_workload(sweep.lc_name)
+    server = Server(lc.spec)
+    alloc = Allocation(cores_by_socket=spread_cores(
+        lc.spec.total_cores, lc.spec))
+    server.resolve([lc.demand(load, alloc)])
+    baseline_power = server.telemetry.power_fraction_of_tdp
+    power_gain = result.mean_power_fraction / max(1e-9, baseline_power)
+    return emu_gain / power_gain
+
+
+def main() -> None:
+    from ..analysis.tables import render_load_series_table
+    sweeps = run_fig6(lc_names=("websearch",))
+    sweep = sweeps["websearch"]
+    for metric in FIG6_METRICS:
+        series = {be: metric_fraction_series(sweep, be, metric)
+                  for be in sweep.results}
+        print(render_load_series_table(
+            series, sweep.loads, title=f"websearch {metric}"))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Figure 7: memkeyval network bandwidth under Heracles with iperf.
+
+memkeyval is network-bound at peak, and the iperf antagonist saturates
+transmit bandwidth with mice flows — yet under Heracles the network
+subcontroller caps the BE class via HTB so that "Heracles partitions
+network transmit bandwidth correctly to protect the LC workload"
+(§5.1).  This experiment records LC and BE egress bandwidth vs load:
+the BE share shrinks as memkeyval's own traffic grows, and memkeyval
+keeps its SLO throughout (its Figure 4 panel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..hardware.spec import MachineSpec, default_machine_spec
+from .common import run_colocation
+from .fig4_latency_slo import DEFAULT_LOADS
+
+
+@dataclass
+class NetworkBwPoint:
+    load: float
+    lc_gbps: float
+    be_gbps: float
+    worst_slo: float
+
+    @property
+    def total_gbps(self) -> float:
+        return self.lc_gbps + self.be_gbps
+
+
+def run_fig7(loads: Sequence[float] = DEFAULT_LOADS,
+             duration_s: float = 900.0,
+             spec: Optional[MachineSpec] = None,
+             seed: int = 0) -> List[NetworkBwPoint]:
+    spec = spec or default_machine_spec()
+    points = []
+    for load in loads:
+        result = run_colocation("memkeyval", "iperf", load,
+                                duration_s=duration_s, spec=spec, seed=seed)
+        points.append(NetworkBwPoint(
+            load=load,
+            lc_gbps=result.mean_lc_net_gbps,
+            be_gbps=result.mean_be_net_gbps,
+            worst_slo=result.history.worst_window_slo(skip_s=240.0),
+        ))
+    return points
+
+
+def main() -> None:
+    from ..analysis.tables import render_load_series_table
+    points = run_fig7()
+    loads = [p.load for p in points]
+    link = default_machine_spec().nic.link_gbps
+    print(render_load_series_table(
+        {
+            "memkeyval bw (frac of link)": [p.lc_gbps / link for p in points],
+            "iperf bw (frac of link)": [p.be_gbps / link for p in points],
+            "worst tail (frac of SLO)": [p.worst_slo for p in points],
+        },
+        loads, title="memkeyval network bandwidth under Heracles"))
+
+
+if __name__ == "__main__":
+    main()

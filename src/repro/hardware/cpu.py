@@ -1,0 +1,140 @@
+"""CPU topology: sockets, physical cores, and HyperThreads.
+
+Heracles pins the latency-critical (LC) workload and best-effort (BE) tasks
+to disjoint sets of *physical* cores (the paper shows HyperThread sharing
+between LC and BE is never safe).  The topology object gives every
+hardware thread a stable identity and answers the sibling/socket queries
+that the cpuset layer and the controller need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .spec import MachineSpec
+
+
+@dataclass(frozen=True, order=True)
+class CoreId:
+    """Identity of one hardware thread (socket, physical core, thread)."""
+
+    socket: int
+    core: int
+    thread: int = 0
+
+    def sibling(self, threads_per_core: int = 2) -> "CoreId":
+        """The other HyperThread on the same physical core (2-way SMT)."""
+        if threads_per_core != 2:
+            raise ValueError("sibling() is defined for 2-way SMT only")
+        return CoreId(self.socket, self.core, 1 - self.thread)
+
+    @property
+    def physical(self) -> Tuple[int, int]:
+        """(socket, core) pair identifying the physical core."""
+        return (self.socket, self.core)
+
+
+class CpuTopology:
+    """Enumerates and indexes the hardware threads of a machine."""
+
+    def __init__(self, spec: MachineSpec):
+        self.spec = spec
+        self._threads: List[CoreId] = []
+        for s in range(spec.sockets):
+            for c in range(spec.socket.cores):
+                for t in range(spec.socket.threads_per_core):
+                    self._threads.append(CoreId(s, c, t))
+        self._thread_set = frozenset(self._threads)
+
+    def all_threads(self) -> List[CoreId]:
+        return list(self._threads)
+
+    def primary_threads(self) -> List[CoreId]:
+        """One hardware thread per physical core (thread 0)."""
+        return [t for t in self._threads if t.thread == 0]
+
+    def threads_on_socket(self, socket: int) -> List[CoreId]:
+        return [t for t in self._threads if t.socket == socket]
+
+    def physical_cores(self) -> List[Tuple[int, int]]:
+        return sorted({t.physical for t in self._threads})
+
+    def contains(self, thread: CoreId) -> bool:
+        return thread in self._thread_set
+
+    def siblings_of(self, threads: Iterable[CoreId]) -> List[CoreId]:
+        """Sibling hyperthreads of the given threads (2-way SMT)."""
+        out = []
+        for t in threads:
+            if self.spec.socket.threads_per_core == 2:
+                out.append(t.sibling())
+        return out
+
+    def physical_core_count(self, threads: Iterable[CoreId]) -> int:
+        """Number of distinct physical cores touched by ``threads``."""
+        return len({t.physical for t in threads})
+
+    def per_socket_core_count(self, threads: Iterable[CoreId]) -> Dict[int, int]:
+        """Distinct physical cores per socket touched by ``threads``."""
+        per: Dict[int, set] = {s: set() for s in range(self.spec.sockets)}
+        for t in threads:
+            per[t.socket].add(t.physical)
+        return {s: len(v) for s, v in per.items()}
+
+
+class DvfsState:
+    """Per-physical-core DVFS frequency caps.
+
+    Heracles' power subcontroller lowers/raises the frequency limit of the
+    cores running BE tasks in 100 MHz steps (§4.1).  A cap of ``None``
+    means "no cap": the core may run up to the turbo ceiling.
+    """
+
+    def __init__(self, topology: CpuTopology):
+        self._topology = topology
+        self._caps: Dict[Tuple[int, int], Optional[float]] = {
+            pc: None for pc in topology.physical_cores()
+        }
+
+    def set_cap_ghz(self, cores: Iterable[CoreId], freq_ghz: Optional[float]) -> None:
+        """Apply a frequency cap to the physical cores behind ``cores``."""
+        turbo = self._topology.spec.socket.turbo
+        for c in cores:
+            if not self._topology.contains(c):
+                raise KeyError(f"unknown core {c}")
+            cap = None if freq_ghz is None else turbo.clamp_ghz(freq_ghz)
+            self._caps[c.physical] = cap
+
+    def cap_ghz(self, core: CoreId) -> Optional[float]:
+        return self._caps[core.physical]
+
+    def step_down(self, cores: Iterable[CoreId], steps: int = 1) -> None:
+        """Lower the cap by ``steps`` DVFS steps (create a cap at the
+        current ceiling first if the core was uncapped)."""
+        turbo = self._topology.spec.socket.turbo
+        for c in cores:
+            current = self._caps[c.physical]
+            if current is None:
+                current = turbo.max_turbo_ghz
+            self._caps[c.physical] = turbo.clamp_ghz(
+                current - steps * turbo.step_ghz)
+
+    def step_up(self, cores: Iterable[CoreId], steps: int = 1) -> None:
+        """Raise the cap by ``steps`` DVFS steps, saturating at max turbo."""
+        turbo = self._topology.spec.socket.turbo
+        for c in cores:
+            current = self._caps[c.physical]
+            if current is None:
+                continue
+            raised = current + steps * turbo.step_ghz
+            if raised >= turbo.max_turbo_ghz:
+                self._caps[c.physical] = turbo.max_turbo_ghz
+            else:
+                self._caps[c.physical] = turbo.clamp_ghz(raised)
+
+    def min_cap_on(self, cores: Iterable[CoreId]) -> Optional[float]:
+        """The lowest cap among ``cores`` (None if all uncapped)."""
+        caps = [self._caps[c.physical] for c in cores
+                if self._caps[c.physical] is not None]
+        return min(caps) if caps else None

@@ -1,0 +1,18 @@
+"""Simulated OS mechanisms: cgroups, CFS, NUMA binding, traffic control.
+
+These are the *software* isolation mechanisms Heracles coordinates
+(cpuset pinning and HTB network shaping) plus the CFS time-sharing model
+used by the OS-isolation baseline the paper measures against.
+"""
+
+from .cgroups import Cgroup, CgroupManager
+from .numa import NumaBinding, NumaPolicy
+from .scheduler import CfsModelParams, CfsSharedCoreModel
+from .traffic_control import HtbClass, HtbQdisc
+
+__all__ = [
+    "Cgroup", "CgroupManager",
+    "NumaBinding", "NumaPolicy",
+    "CfsModelParams", "CfsSharedCoreModel",
+    "HtbClass", "HtbQdisc",
+]

@@ -1,0 +1,128 @@
+"""cpuset and CPU-shares cgroups.
+
+Heracles' core-isolation mechanism is Linux ``cpuset`` cgroups: the LC
+workload is pinned to one set of cores and BE tasks to another (§4.1).
+The OS-isolation *baseline* of the characterization instead runs LC and
+BE in separate containers distinguished only by CFS ``shares`` — which
+the paper shows is hopeless for tail latency.
+
+This module tracks both: which hardware threads each group owns, and the
+group's scheduler shares.  It also answers the placement questions the
+simulation needs — most importantly, how much HyperThread sibling sharing
+a placement implies, since an LC thread whose sibling runs a BE task
+suffers instruction-bandwidth and L1/L2 interference (§2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from ..hardware.cpu import CoreId, CpuTopology
+
+
+@dataclass
+class Cgroup:
+    """One control group: a cpuset plus CFS shares."""
+
+    name: str
+    cpuset: FrozenSet[CoreId] = frozenset()
+    shares: int = 1024  # CFS default
+
+    def cores_by_socket(self, topology: CpuTopology) -> Dict[int, int]:
+        """Distinct physical cores this group may run on, per socket."""
+        per: Dict[int, Set] = {}
+        for t in self.cpuset:
+            per.setdefault(t.socket, set()).add(t.physical)
+        return {s: len(v) for s, v in per.items()}
+
+    def physical_cores(self) -> Set:
+        return {t.physical for t in self.cpuset}
+
+
+class CgroupManager:
+    """Creates cgroups and validates/queries their cpusets."""
+
+    def __init__(self, topology: CpuTopology):
+        self.topology = topology
+        self._groups: Dict[str, Cgroup] = {}
+
+    def create(self, name: str, cpuset: Iterable[CoreId] = (),
+               shares: int = 1024) -> Cgroup:
+        if name in self._groups:
+            raise ValueError(f"cgroup {name!r} already exists")
+        group = Cgroup(name=name, cpuset=frozenset(), shares=shares)
+        self._groups[name] = group
+        self.set_cpuset(name, cpuset)
+        return self._groups[name]
+
+    def remove(self, name: str) -> None:
+        if name not in self._groups:
+            raise KeyError(name)
+        del self._groups[name]
+
+    def get(self, name: str) -> Cgroup:
+        return self._groups[name]
+
+    def exists(self, name: str) -> bool:
+        return name in self._groups
+
+    def groups(self) -> List[Cgroup]:
+        return list(self._groups.values())
+
+    def set_cpuset(self, name: str, cpuset: Iterable[CoreId]) -> None:
+        """Repin a group.  Core migration takes tens of milliseconds on
+        Linux (§4.1); at our 1 s tick that is effectively immediate, but
+        the engine applies changes at the *next* tick boundary."""
+        threads = frozenset(cpuset)
+        for t in threads:
+            if not self.topology.contains(t):
+                raise ValueError(f"thread {t} not present on this machine")
+        group = self._groups[name]
+        self._groups[name] = Cgroup(name=group.name, cpuset=threads,
+                                    shares=group.shares)
+
+    def set_shares(self, name: str, shares: int) -> None:
+        if shares < 2:
+            raise ValueError("CFS shares must be >= 2")
+        group = self._groups[name]
+        self._groups[name] = Cgroup(name=group.name, cpuset=group.cpuset,
+                                    shares=shares)
+
+    # ------------------------------------------------------------------
+    # Placement queries
+    # ------------------------------------------------------------------
+
+    def exclusive_physical_cores(self, name: str) -> Set:
+        """Physical cores used by ``name`` and no other group."""
+        mine = self._groups[name].physical_cores()
+        for other_name, other in self._groups.items():
+            if other_name != name:
+                mine -= other.physical_cores()
+        return mine
+
+    def ht_share_fraction(self, name: str) -> float:
+        """Fraction of this group's threads whose sibling HyperThread
+        belongs to a *different* group (the dangerous configuration)."""
+        group = self._groups[name]
+        if not group.cpuset:
+            return 0.0
+        if self.topology.spec.socket.threads_per_core != 2:
+            return 0.0
+        foreign = set()
+        for other_name, other in self._groups.items():
+            if other_name != name:
+                foreign |= set(other.cpuset)
+        shared = sum(1 for t in group.cpuset if t.sibling() in foreign)
+        return shared / len(group.cpuset)
+
+    def overlapping_physical_cores(self, a: str, b: str) -> Set:
+        """Physical cores where groups a and b may both be scheduled."""
+        return self._groups[a].physical_cores() & self._groups[b].physical_cores()
+
+    def share_fraction(self, name: str) -> float:
+        """This group's CFS share weight relative to all groups."""
+        total = sum(g.shares for g in self._groups.values())
+        if total == 0:
+            return 0.0
+        return self._groups[name].shares / total

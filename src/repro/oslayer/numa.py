@@ -1,0 +1,88 @@
+"""numactl-style NUMA binding policies.
+
+Heracles limits each BE task to a single socket for both cores and
+memory (via Linux ``numactl``) so that per-core NUMA-local counters can
+attribute DRAM traffic to it; LC workloads may span sockets (§4.3).
+This module provides the binding bookkeeping and the core-picking
+helpers used when building cpusets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..hardware.cpu import CoreId, CpuTopology
+
+
+@dataclass(frozen=True)
+class NumaBinding:
+    """Memory/CPU binding of one task."""
+
+    task: str
+    sockets: tuple  # sockets the task may use
+
+    def allows(self, socket: int) -> bool:
+        return socket in self.sockets
+
+
+class NumaPolicy:
+    """Tracks per-task socket bindings and allocates cores within them."""
+
+    def __init__(self, topology: CpuTopology):
+        self.topology = topology
+        self._bindings: Dict[str, NumaBinding] = {}
+
+    def bind(self, task: str, sockets: Sequence[int]) -> NumaBinding:
+        for s in sockets:
+            if not 0 <= s < self.topology.spec.sockets:
+                raise ValueError(f"socket {s} out of range")
+        if not sockets:
+            raise ValueError("must bind to at least one socket")
+        binding = NumaBinding(task=task, sockets=tuple(sorted(set(sockets))))
+        self._bindings[task] = binding
+        return binding
+
+    def bind_single_socket(self, task: str, socket: int) -> NumaBinding:
+        """The Heracles BE policy: one socket for cores *and* memory."""
+        return self.bind(task, [socket])
+
+    def binding_of(self, task: str) -> Optional[NumaBinding]:
+        return self._bindings.get(task)
+
+    def unbind(self, task: str) -> None:
+        self._bindings.pop(task, None)
+
+    def least_loaded_socket(self, used_per_socket: Dict[int, int]) -> int:
+        """Pick the socket with the most free physical cores."""
+        spec = self.topology.spec
+        free = {s: spec.socket.cores - used_per_socket.get(s, 0)
+                for s in range(spec.sockets)}
+        return max(free, key=lambda s: (free[s], -s))
+
+    def pick_cores(self, task: str, count: int,
+                   occupied: Sequence[CoreId] = ()) -> List[CoreId]:
+        """Choose ``count`` primary hardware threads inside the binding.
+
+        Only thread 0 of each physical core is handed out: Heracles never
+        shares a physical core between different workloads, so the sibling
+        thread stays with the same task (or idle).
+        """
+        binding = self._bindings.get(task)
+        allowed_sockets = (binding.sockets if binding
+                           else tuple(range(self.topology.spec.sockets)))
+        occupied_physical = {c.physical for c in occupied}
+        picked: List[CoreId] = []
+        for t in self.topology.primary_threads():
+            if len(picked) >= count:
+                break
+            if t.socket not in allowed_sockets:
+                continue
+            if t.physical in occupied_physical:
+                continue
+            picked.append(t)
+        if len(picked) < count:
+            raise ValueError(
+                f"cannot place {count} cores for {task!r}: only "
+                f"{len(picked)} free within binding {allowed_sockets}")
+        return picked

@@ -1,0 +1,13 @@
+"""Performance models: queueing tails, saturation knees, interference."""
+
+from .interference import (InterferenceSensitivity, be_throughput_efficiency,
+                           network_latency_factor, service_inflation)
+from .queueing import QueueModel, erlang_c, solve_service_time_ms
+from .saturation import headroom_fraction, knee_penalty, soft_clip
+
+__all__ = [
+    "InterferenceSensitivity", "be_throughput_efficiency",
+    "network_latency_factor", "service_inflation",
+    "QueueModel", "erlang_c", "solve_service_time_ms",
+    "headroom_fraction", "knee_penalty", "soft_clip",
+]

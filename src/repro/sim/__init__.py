@@ -1,0 +1,11 @@
+"""Simulation engine: monitors, actuators, and the colocation loop."""
+
+from .actuators import Actuators, BE_COS, LC_COS
+from .engine import ColocationSim, Controller, SimHistory, TickRecord
+from .monitors import LatencyMonitor, ThroughputMonitor
+
+__all__ = [
+    "Actuators", "BE_COS", "LC_COS",
+    "ColocationSim", "Controller", "SimHistory", "TickRecord",
+    "LatencyMonitor", "ThroughputMonitor",
+]

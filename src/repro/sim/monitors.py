@@ -1,0 +1,115 @@
+"""Application-level monitors: latency, load, and throughput telemetry.
+
+Heracles "continuously monitors latency and latency slack and uses both
+as key inputs in its decisions" (§4.2), polling the LC application's tail
+latency and load every 15 seconds — long enough to gather statistically
+meaningful tails.  These monitors provide the windowed views the
+controller polls and the 60-second worst-case windows the evaluation
+reports ("Since the SLO is defined over 60-second windows, we report the
+worst-case latency that was seen during experiments", §5.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+
+class LatencyMonitor:
+    """Sliding-window view of an LC service's tail latency and load."""
+
+    def __init__(self, window_s: float = 15.0, slo_window_s: float = 60.0):
+        if window_s <= 0 or slo_window_s <= 0:
+            raise ValueError("windows must be positive")
+        self.window_s = window_s
+        self.slo_window_s = slo_window_s
+        self._samples: Deque[Tuple[float, float, float]] = deque()
+
+    def record(self, t_s: float, tail_ms: float, load: float) -> None:
+        if tail_ms < 0 or load < 0:
+            raise ValueError("samples must be non-negative")
+        if self._samples and t_s < self._samples[-1][0]:
+            raise ValueError("samples must arrive in time order")
+        self._samples.append((t_s, tail_ms, load))
+        horizon = max(self.window_s, self.slo_window_s) + 1.0
+        while self._samples and self._samples[0][0] < t_s - horizon:
+            self._samples.popleft()
+
+    def _window(self, now_s: float, span_s: float):
+        return [s for s in self._samples if s[0] > now_s - span_s]
+
+    def poll_latency_ms(self, now_s: float) -> Optional[float]:
+        """Tail latency over the control window (what PollLCAppLatency
+        returns): the mean of per-interval tail estimates."""
+        window = self._window(now_s, self.window_s)
+        if not window:
+            return None
+        return sum(s[1] for s in window) / len(window)
+
+    def recent_latency_ms(self, now_s: float,
+                          span_s: float = 2.0) -> Optional[float]:
+        """Freshest tail estimate over a short span.
+
+        Used by the 2-second subcontroller loop, which must see the
+        effect of its own last actuation before taking the next step
+        (§4.3's per-step SLO check) — the 15-second control window would
+        lag it into oscillation.
+        """
+        window = self._window(now_s, span_s)
+        if not window:
+            window = list(self._samples)[-1:]
+        if not window:
+            return None
+        return sum(s[1] for s in window) / len(window)
+
+    def poll_load(self, now_s: float) -> Optional[float]:
+        window = self._window(now_s, self.window_s)
+        if not window:
+            return None
+        return sum(s[2] for s in window) / len(window)
+
+    def worst_window_ms(self, now_s: float) -> Optional[float]:
+        """Worst tail estimate inside the SLO reporting window."""
+        window = self._window(now_s, self.slo_window_s)
+        if not window:
+            return None
+        return max(s[1] for s in window)
+
+    def sample_count(self) -> int:
+        return len(self._samples)
+
+
+class ThroughputMonitor:
+    """Accumulates BE throughput units and normalizes against a reference.
+
+    Normalized throughput is the EMU ingredient: BE units per second
+    divided by the units/second the task achieves alone on the server.
+    """
+
+    def __init__(self, reference_units_per_s: float):
+        if reference_units_per_s <= 0:
+            raise ValueError("reference throughput must be positive")
+        self.reference_units_per_s = reference_units_per_s
+        self._total_units = 0.0
+        self._total_time_s = 0.0
+        self._last_normalized = 0.0
+
+    def record(self, units: float, dt_s: float) -> None:
+        if dt_s <= 0:
+            raise ValueError("dt must be positive")
+        if units < 0:
+            raise ValueError("units must be non-negative")
+        self._total_units += units
+        self._total_time_s += dt_s
+        self._last_normalized = (units / dt_s) / self.reference_units_per_s
+
+    @property
+    def last_normalized(self) -> float:
+        """Most recent normalized throughput (instantaneous)."""
+        return self._last_normalized
+
+    def average_normalized(self) -> float:
+        if self._total_time_s == 0:
+            return 0.0
+        return (self._total_units / self._total_time_s) / self.reference_units_per_s

@@ -1,0 +1,219 @@
+"""Best-effort (BE) workload models.
+
+The evaluation colocates each LC service with BE tasks drawn from two
+families (§5.1):
+
+* **Production batch jobs** — ``brain`` (deep learning on images:
+  computationally intensive, LLC-size sensitive, high DRAM bandwidth)
+  and ``streetview`` (image stitching: highly demanding on the DRAM
+  subsystem).
+* **Synthetic single-resource stressors** — ``stream-LLC`` (streams data
+  sized to about half the LLC), ``stream-DRAM`` (streams an array far
+  larger than the LLC), ``cpu_pwr`` (a power virus), and ``iperf``
+  (saturates transmit bandwidth with many mice flows).
+
+BE tasks are elastic: they use however many cores they are given and
+their value is measured as *throughput normalized to running alone on a
+whole server* — the quantity EMU sums (§5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..hardware.server import TaskTickDemand, TaskUsage
+from ..hardware.spec import MachineSpec, default_machine_spec
+from ..perf.interference import be_throughput_efficiency
+from .base import Allocation, cache_demand_for, split_across_sockets
+
+
+@dataclass(frozen=True)
+class BeWorkloadProfile:
+    """Static description of one best-effort task."""
+
+    name: str
+    activity: float               # CPU activity per core (0..1)
+    power_weight: float = 1.0     # >1 for power viruses
+    hot_mb: float = 0.0
+    bulk_mb: float = 0.0          # total data footprint (machine-wide)
+    bulk_reuse: float = 1.0
+    access_gbps_per_core: float = 0.0
+    hot_access_fraction: float = 0.0
+    uncached_dram_gbps_per_core: float = 0.0
+    net_demand_gbps: float = 0.0  # offered egress load when running
+    net_flows: int = 1
+    mem_bound_fraction: float = 0.3
+    cache_benefit: float = 0.3
+
+    def validate(self) -> None:
+        if not 0.0 <= self.activity <= 1.0:
+            raise ValueError("activity must be in [0, 1]")
+        if self.power_weight < 0 or self.power_weight * self.activity > 3.0:
+            raise ValueError("power_weight out of modeled range")
+        if self.bulk_mb < 0 or self.hot_mb < 0:
+            raise ValueError("footprints must be non-negative")
+        if self.access_gbps_per_core < 0 or self.uncached_dram_gbps_per_core < 0:
+            raise ValueError("bandwidths must be non-negative")
+        if self.net_demand_gbps < 0 or self.net_flows < 1:
+            raise ValueError("bad network parameters")
+
+
+class BestEffortWorkload:
+    """Executable model of an elastic BE task."""
+
+    def __init__(self, profile: BeWorkloadProfile,
+                 spec: Optional[MachineSpec] = None):
+        profile.validate()
+        self.profile = profile
+        self.spec = spec or default_machine_spec()
+        self.name = profile.name
+
+    def demand(self, alloc: Allocation) -> TaskTickDemand:
+        """Hardware demand when running on ``alloc`` (always full tilt)."""
+        p = self.profile
+        cores = alloc.total_cores
+        return TaskTickDemand(
+            task=self.name,
+            cores_by_socket=dict(alloc.cores_by_socket),
+            activity=min(3.0, p.activity * p.power_weight),
+            dvfs_cap_ghz=alloc.dvfs_cap_ghz,
+            cache_by_socket=cache_demand_for(
+                self.name, alloc, self.spec,
+                hot_mb=p.hot_mb,
+                bulk_mb=p.bulk_mb,
+                access_gbps=p.access_gbps_per_core * cores,
+                hot_access_fraction=p.hot_access_fraction,
+                bulk_reuse=p.bulk_reuse),
+            cache_cos=alloc.cache_cos,
+            uncached_dram_gbps_by_socket=split_across_sockets(
+                p.uncached_dram_gbps_per_core * cores, alloc),
+            net_demand_gbps=p.net_demand_gbps if cores else 0.0,
+            net_flows=p.net_flows,
+            net_ceil_gbps=alloc.net_ceil_gbps,
+            ht_share_fraction=alloc.ht_share_fraction,
+            dram_throttle=alloc.dram_throttle,
+        )
+
+    def throughput_units(self, usage: TaskUsage) -> float:
+        """Raw progress this tick: cores x per-core efficiency."""
+        if usage.cores <= 0:
+            return 0.0
+        nominal = self.spec.socket.turbo.nominal_ghz
+        eff = be_throughput_efficiency(
+            usage, reference_freq_ghz=nominal,
+            mem_bound_fraction=self.profile.mem_bound_fraction,
+            cache_benefit=self.profile.cache_benefit)
+        # Network-bound BE tasks (iperf) are additionally throttled by
+        # achieved egress bandwidth.
+        if self.profile.net_demand_gbps > 0:
+            eff *= usage.net_satisfaction
+        return usage.cores * eff
+
+
+def reference_throughput_units(workload: BestEffortWorkload) -> float:
+    """Throughput of the BE task running *alone* on a whole server.
+
+    This is the EMU denominator: "we compute the throughput rate of the
+    batch workload with Heracles and normalize it to the throughput of
+    the batch workload running alone on a single server" (§5.1).
+    """
+    from ..hardware.server import Server
+    from .base import spread_cores
+
+    server = Server(workload.spec)
+    alloc = Allocation(cores_by_socket=spread_cores(
+        workload.spec.total_cores, workload.spec))
+    demand = workload.demand(alloc)
+    usages = server.resolve([demand])
+    return workload.throughput_units(usages[workload.name])
+
+
+# ----------------------------------------------------------------------
+# The paper's BE workloads
+# ----------------------------------------------------------------------
+
+BRAIN = BeWorkloadProfile(
+    name="brain",
+    activity=0.95,
+    power_weight=1.15,
+    hot_mb=6.0,
+    bulk_mb=80.0,
+    bulk_reuse=0.85,
+    access_gbps_per_core=3.0,
+    hot_access_fraction=0.10,
+    uncached_dram_gbps_per_core=1.2,
+    mem_bound_fraction=0.35,
+    cache_benefit=0.40,
+)
+
+STREETVIEW = BeWorkloadProfile(
+    name="streetview",
+    activity=0.70,
+    hot_mb=4.0,
+    bulk_mb=120.0,
+    bulk_reuse=0.30,
+    access_gbps_per_core=4.0,
+    hot_access_fraction=0.05,
+    uncached_dram_gbps_per_core=3.0,
+    mem_bound_fraction=0.60,
+    cache_benefit=0.15,
+)
+
+STREAM_LLC = BeWorkloadProfile(
+    name="stream-LLC",
+    activity=0.50,
+    bulk_mb=45.0,  # about half of the total LLC (22.5 MB per socket)
+    bulk_reuse=1.0,
+    access_gbps_per_core=8.0,
+    uncached_dram_gbps_per_core=0.2,
+    mem_bound_fraction=0.45,
+    cache_benefit=0.55,
+)
+
+STREAM_DRAM = BeWorkloadProfile(
+    name="stream-DRAM",
+    activity=0.60,
+    bulk_mb=4096.0,  # far larger than the LLC: every access misses
+    bulk_reuse=0.0,
+    access_gbps_per_core=10.0,
+    mem_bound_fraction=0.85,
+    cache_benefit=0.05,
+)
+
+CPU_PWR = BeWorkloadProfile(
+    name="cpu_pwr",
+    activity=1.0,
+    power_weight=2.2,
+    hot_mb=0.5,
+    bulk_mb=0.5,
+    bulk_reuse=1.0,
+    access_gbps_per_core=0.5,
+    mem_bound_fraction=0.02,
+    cache_benefit=0.02,
+)
+
+IPERF = BeWorkloadProfile(
+    name="iperf",
+    activity=0.15,
+    net_demand_gbps=10.0,
+    net_flows=800,
+    mem_bound_fraction=0.05,
+    cache_benefit=0.02,
+)
+
+BE_PROFILES: Dict[str, BeWorkloadProfile] = {
+    p.name: p for p in (BRAIN, STREETVIEW, STREAM_LLC, STREAM_DRAM,
+                        CPU_PWR, IPERF)
+}
+
+
+def make_be_workload(name: str,
+                     spec: Optional[MachineSpec] = None) -> BestEffortWorkload:
+    """Factory: build one of the paper's BE workloads by name."""
+    try:
+        profile = BE_PROFILES[name]
+    except KeyError:
+        raise KeyError(f"unknown BE workload {name!r}; "
+                       f"choose from {sorted(BE_PROFILES)}") from None
+    return BestEffortWorkload(profile, spec)

@@ -1,0 +1,121 @@
+"""Tests for repro.analysis: EMU, TCO model, table rendering."""
+
+import pytest
+
+from repro.analysis.emu import (EmuSummary, cluster_emu,
+                                effective_machine_utilization)
+from repro.analysis.tables import (format_percent, render_load_series_table,
+                                   render_series, render_table)
+from repro.analysis.tco import TcoModel, TcoParameters
+
+
+class TestEmu:
+    def test_sum(self):
+        assert effective_machine_utilization(0.5, 0.4) == pytest.approx(0.9)
+
+    def test_can_exceed_one(self):
+        # "EMU can be above 100% due to better binpacking" (§5.1).
+        assert effective_machine_utilization(0.7, 0.5) > 1.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            effective_machine_utilization(-0.1, 0.5)
+
+    def test_summary(self):
+        s = EmuSummary.from_series([0.8, 0.9, 1.0])
+        assert s.mean == pytest.approx(0.9)
+        assert s.minimum == pytest.approx(0.8)
+        assert s.maximum == pytest.approx(1.0)
+
+    def test_summary_empty(self):
+        with pytest.raises(ValueError):
+            EmuSummary.from_series([])
+
+    def test_cluster_emu(self):
+        assert cluster_emu([0.8, 1.0]) == pytest.approx(0.9)
+        with pytest.raises(ValueError):
+            cluster_emu([])
+
+
+class TestTcoModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return TcoModel()
+
+    def test_power_curve(self, model):
+        assert model.server_power_watts(0.0) == pytest.approx(250.0)
+        assert model.server_power_watts(1.0) == pytest.approx(500.0)
+        assert model.server_power_watts(0.5) == pytest.approx(375.0)
+
+    def test_tco_grows_with_utilization(self, model):
+        assert (model.tco_per_server_usd(0.9)
+                > model.tco_per_server_usd(0.2))
+
+    def test_capex_dominates(self, model):
+        # Facility provisioning + server >> energy delta: that is why
+        # raising utilization is so valuable.
+        tco_low = model.tco_per_server_usd(0.2)
+        tco_high = model.tco_per_server_usd(0.9)
+        assert (tco_high - tco_low) / tco_low < 0.15
+
+    def test_paper_headline_numbers(self, model):
+        assert model.throughput_per_tco_gain(0.20, 0.90) == pytest.approx(
+            3.06, abs=0.15)  # "306%"
+        assert model.throughput_per_tco_gain(0.75, 0.90) == pytest.approx(
+            0.15, abs=0.05)  # "15%"
+
+    def test_energy_prop_bounds(self, model):
+        assert model.energy_proportionality_gain(0.20) < 0.07  # "< 7%"
+        assert 0.01 < model.energy_proportionality_gain(0.75) < 0.05  # "~3%"
+
+    def test_cluster_scale(self, model):
+        assert model.cluster_tco_usd(0.5) == pytest.approx(
+            10_000 * model.tco_per_server_usd(0.5))
+
+    def test_validation(self):
+        import dataclasses
+        with pytest.raises(ValueError):
+            dataclasses.replace(TcoParameters(), pue=0.5).validate()
+        with pytest.raises(ValueError):
+            dataclasses.replace(TcoParameters(),
+                                idle_power_fraction=1.0).validate()
+        m = TcoModel()
+        with pytest.raises(ValueError):
+            m.server_power_watts(2.0)
+        with pytest.raises(ValueError):
+            m.throughput_per_tco_gain(0.0, 0.9)
+        with pytest.raises(ValueError):
+            m.energy_proportionality_gain(0.5, idle_savings_fraction=2.0)
+
+
+class TestTables:
+    def test_format_percent(self):
+        assert format_percent(0.87) == "87%"
+        assert format_percent(5.0) == ">300%"
+
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [["1", "2"], ["333", "4"]],
+                           title="t")
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_table_validation(self):
+        with pytest.raises(ValueError):
+            render_table([], [])
+        with pytest.raises(ValueError):
+            render_table(["a"], [["1", "2"]])
+
+    def test_render_series(self):
+        out = render_series("emu", [0.1, 0.5], [0.8, 0.9])
+        assert "emu" in out
+        assert "10%" in out
+        with pytest.raises(ValueError):
+            render_series("x", [1], [1, 2])
+
+    def test_render_load_series_table(self):
+        out = render_load_series_table({"a": [1.0, 2.0]}, [0.1, 0.5])
+        assert "10%" in out and "50%" in out
+        with pytest.raises(ValueError):
+            render_load_series_table({"a": [1.0]}, [0.1, 0.5])

@@ -1,0 +1,125 @@
+"""Tests for repro.baselines: OS isolation, static splits, energy prop."""
+
+import pytest
+
+import repro
+from repro.baselines.energy_prop import (EnergyProportionalController,
+                                         tco_comparison)
+from repro.baselines.os_isolation import (os_isolation_sweep,
+                                          violates_everywhere)
+from repro.baselines.static import (StaticPartitionController,
+                                    conservative_static, optimistic_static)
+from repro.sim.engine import ColocationSim
+from repro.workloads.latency_critical import make_lc_workload
+from repro.workloads.traces import ConstantLoad
+
+
+class TestOsIsolation:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return os_isolation_sweep("websearch", loads=[0.1, 0.3, 0.5, 0.7])
+
+    def test_violates_at_every_load(self, sweep):
+        # Figure 1's brain rows: OS isolation is never enough.
+        assert violates_everywhere(sweep)
+
+    def test_be_throughput_is_nonzero(self, sweep):
+        # CFS is work-conserving: the BE task gets the idle cycles.
+        assert all(p.be_throughput > 0.3 for p in sweep)
+
+    def test_memkeyval_is_worst(self):
+        ws = os_isolation_sweep("websearch", loads=[0.3])
+        kv = os_isolation_sweep("memkeyval", loads=[0.3])
+        assert kv[0].slo_fraction > ws[0].slo_fraction
+
+    def test_unknown_be_rejected(self):
+        with pytest.raises(KeyError):
+            os_isolation_sweep("websearch", be_name="nope")
+
+    def test_violates_everywhere_validation(self):
+        with pytest.raises(ValueError):
+            violates_everywhere([])
+
+
+class TestStaticPartition:
+    def run_static(self, factory, load, seed=0):
+        sim = repro.build_colocation("websearch", "brain", load=load,
+                                     seed=seed)
+        sim.attach_controller(factory(sim.actuators))
+        return sim.run(600)
+
+    def test_conservative_is_safe_everywhere(self):
+        for load in (0.2, 0.6, 0.8):
+            history = self.run_static(conservative_static, load)
+            assert history.worst_window_slo(skip_s=120) <= 1.0
+
+    def test_conservative_leaves_emu_on_the_table(self):
+        history = self.run_static(conservative_static, 0.2)
+        from repro.experiments.common import run_colocation
+        heracles = run_colocation("websearch", "brain", 0.2,
+                                  duration_s=600)
+        assert (history.mean("be_throughput_norm", skip_s=120)
+                < heracles.mean_be_throughput)
+
+    def test_optimistic_violates_at_high_load(self):
+        history = self.run_static(optimistic_static, 0.75)
+        assert history.worst_window_slo(skip_s=120) > 1.0
+
+    def test_optimistic_fine_at_low_load(self):
+        history = self.run_static(optimistic_static, 0.15)
+        assert history.worst_window_slo(skip_s=120) <= 1.0
+
+    def test_static_configures_once(self):
+        sim = repro.build_colocation("websearch", "brain", load=0.3)
+        controller = StaticPartitionController(sim.actuators, be_cores=4,
+                                               be_llc_ways=4)
+        sim.attach_controller(controller)
+        sim.run(30)
+        assert sim.actuators.be_cores == 4
+        assert sim.actuators.be_llc_ways == 4
+
+    def test_validation(self):
+        sim = repro.build_colocation("websearch", "brain", load=0.3)
+        with pytest.raises(ValueError):
+            StaticPartitionController(sim.actuators, be_cores=-1,
+                                      be_llc_ways=0)
+
+
+class TestEnergyProportional:
+    def test_lowers_frequency_at_low_load(self):
+        sim = ColocationSim(lc=make_lc_workload("websearch"),
+                            trace=ConstantLoad(0.2), seed=1)
+        controller = EnergyProportionalController(
+            sim.actuators, sim.latency_monitor,
+            slo_target_ms=sim.lc.profile.slo_latency_ms)
+        sim.attach_controller(controller)
+        sim.run(300)
+        assert controller.lc_cap_ghz is not None
+        assert controller.lc_cap_ghz < sim.lc.spec.socket.turbo.max_turbo_ghz
+
+    def test_never_enables_be(self):
+        sim = repro.build_colocation("websearch", "brain", load=0.2, seed=1)
+        controller = EnergyProportionalController(
+            sim.actuators, sim.latency_monitor,
+            slo_target_ms=sim.lc.profile.slo_latency_ms)
+        sim.attach_controller(controller)
+        history = sim.run(300)
+        assert all(not r.be_enabled for r in history.records)
+
+    def test_validation(self):
+        sim = repro.build_colocation("websearch", "brain", load=0.2)
+        with pytest.raises(ValueError):
+            EnergyProportionalController(sim.actuators, sim.latency_monitor,
+                                         slo_target_ms=0.0)
+        with pytest.raises(ValueError):
+            EnergyProportionalController(sim.actuators, sim.latency_monitor,
+                                         slo_target_ms=10.0,
+                                         lower_slack=0.1, raise_slack=0.2)
+
+    def test_tco_comparison_matches_paper(self):
+        low = tco_comparison(0.20)
+        assert low["heracles_gain"] == pytest.approx(3.06, abs=0.25)
+        assert low["energy_proportionality_gain"] < 0.07
+        high = tco_comparison(0.75)
+        assert high["heracles_gain"] == pytest.approx(0.15, abs=0.05)
+        assert high["energy_proportionality_gain"] < 0.05

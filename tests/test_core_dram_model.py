@@ -1,0 +1,82 @@
+"""Tests for the offline DRAM bandwidth model."""
+
+import numpy as np
+import pytest
+
+from repro.core.dram_model import LcDramBandwidthModel, profile_lc_dram_model
+from repro.workloads.latency_critical import make_lc_workload
+
+
+@pytest.fixture(scope="module")
+def model():
+    return profile_lc_dram_model(make_lc_workload("websearch"))
+
+
+@pytest.fixture(scope="module")
+def ml_model():
+    return profile_lc_dram_model(make_lc_workload("ml_cluster"))
+
+
+class TestProfiling:
+    def test_bandwidth_grows_with_load(self, model):
+        ways = 20
+        values = [model.predict_gbps(l, ways) for l in (0.1, 0.4, 0.7, 1.0)]
+        assert values == sorted(values)
+
+    def test_bandwidth_grows_as_cache_shrinks(self, model):
+        # Fewer LLC ways -> more misses -> more DRAM traffic.
+        generous = model.predict_gbps(0.8, 20)
+        starved = model.predict_gbps(0.8, 2)
+        assert starved >= generous
+
+    def test_matches_paper_peak_fraction(self, model):
+        # websearch: 40% of 120 GB/s at 100% load with full cache.
+        assert model.predict_gbps(1.0, 20) == pytest.approx(48.0, rel=0.15)
+
+    def test_ml_cluster_superlinear(self, ml_model):
+        half = ml_model.predict_gbps(0.5, 20)
+        full = ml_model.predict_gbps(1.0, 20)
+        assert full > 2.2 * half
+
+    def test_clamps_outside_grid(self, model):
+        assert model.predict_gbps(-0.5, 20) == model.predict_gbps(
+            model.loads[0], 20)
+        assert model.predict_gbps(2.0, 20) == model.predict_gbps(
+            model.loads[-1], 20)
+        assert model.predict_gbps(0.5, 999) == model.predict_gbps(
+            0.5, int(model.ways[-1]))
+
+    def test_interpolation_is_sane(self, model):
+        lo = model.predict_gbps(0.50, 20)
+        hi = model.predict_gbps(0.55, 20)
+        mid = model.predict_gbps(0.525, 20)
+        assert min(lo, hi) - 1e-9 <= mid <= max(lo, hi) + 1e-9
+
+
+class TestStaleness:
+    def test_perturbed_scales(self, model):
+        stale = model.perturbed(1.2)
+        assert stale.predict_gbps(0.5, 20) == pytest.approx(
+            1.2 * model.predict_gbps(0.5, 20))
+
+    def test_perturbed_composes(self, model):
+        assert model.perturbed(1.2).perturbed(0.5).scale == pytest.approx(
+            0.6)
+
+    def test_bad_scale(self, model):
+        with pytest.raises(ValueError):
+            model.perturbed(0.0)
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            LcDramBandwidthModel(loads=np.array([0.1, 0.2]),
+                                 ways=np.array([2.0, 4.0]),
+                                 bandwidth_gbps=np.zeros((3, 2)))
+
+    def test_unsorted_grid(self):
+        with pytest.raises(ValueError):
+            LcDramBandwidthModel(loads=np.array([0.2, 0.1]),
+                                 ways=np.array([2.0, 4.0]),
+                                 bandwidth_gbps=np.zeros((2, 2)))

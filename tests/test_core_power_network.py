@@ -1,0 +1,195 @@
+"""Tests for the power (Algorithm 3) and network (Algorithm 4)
+subcontrollers."""
+
+import pytest
+
+from repro.core.config import HeraclesConfig
+from repro.core.network import NetworkController
+from repro.core.power import PowerController, guaranteed_frequency_ghz
+from repro.hardware.counters import CounterBank
+from repro.hardware.server import Server, TaskTickDemand
+from repro.hardware.spec import default_machine_spec
+from repro.sim.actuators import Actuators
+from repro.workloads.latency_critical import make_lc_workload
+
+
+@pytest.fixture
+def rig():
+    spec = default_machine_spec()
+    server = Server(spec)
+    actuators = Actuators(server)
+    counters = CounterBank(server)
+    return server, actuators, counters
+
+
+def resolve(server, lc_activity=0.5, be_cores=8, be_activity=2.2,
+            lc_net=0.0, be_net=0.0, be_cap=None):
+    demands = [TaskTickDemand(task="lc",
+                              cores_by_socket={0: 9, 1: 9},
+                              activity=lc_activity,
+                              net_demand_gbps=lc_net)]
+    if be_cores:
+        demands.append(TaskTickDemand(
+            task="be",
+            cores_by_socket={0: be_cores // 2, 1: be_cores - be_cores // 2},
+            activity=be_activity, dvfs_cap_ghz=be_cap,
+            net_demand_gbps=be_net, net_flows=200))
+    server.resolve(demands)
+
+
+class TestGuaranteedFrequency:
+    def test_full_load_frequency_is_realistic(self):
+        lc = make_lc_workload("websearch")
+        freq = guaranteed_frequency_ghz(lc)
+        turbo = lc.spec.socket.turbo
+        assert turbo.min_ghz < freq <= turbo.max_turbo_ghz
+
+    def test_compute_bound_workloads_guarantee_less(self):
+        # Higher activity -> less turbo headroom at full load.
+        ws = guaranteed_frequency_ghz(make_lc_workload("websearch"))
+        ml = guaranteed_frequency_ghz(make_lc_workload("ml_cluster"))
+        assert ws <= ml
+
+
+class TestAlgorithm3:
+    def test_lowers_be_frequency_when_hot_and_slow(self, rig):
+        server, actuators, counters = rig
+        actuators.enable_be()
+        actuators.set_be_cores(8)
+        controller = PowerController(HeraclesConfig(), actuators, counters,
+                                     lc_task="lc", guaranteed_ghz=2.5)
+        # Power virus drives the socket to TDP; LC frequency sags.
+        resolve(server, lc_activity=0.9, be_cores=8, be_activity=2.2)
+        assert counters.max_power_fraction_of_tdp() > 0.9
+        assert counters.freq_of("lc") < 2.5
+        controller.step(0.0)
+        assert actuators.be_dvfs_cap_ghz is not None
+
+    def test_raises_be_frequency_when_cool_and_fast(self, rig):
+        server, actuators, counters = rig
+        actuators.enable_be()
+        actuators.set_be_cores(2)
+        actuators.lower_be_frequency(steps=5)
+        cap_before = actuators.be_dvfs_cap_ghz
+        controller = PowerController(HeraclesConfig(), actuators, counters,
+                                     lc_task="lc", guaranteed_ghz=2.0)
+        resolve(server, lc_activity=0.2, be_cores=2, be_activity=0.3,
+                be_cap=cap_before)
+        assert counters.max_power_fraction_of_tdp() <= 0.9
+        assert counters.freq_of("lc") >= 2.0
+        controller.step(0.0)
+        assert (actuators.be_dvfs_cap_ghz is None
+                or actuators.be_dvfs_cap_ghz > cap_before)
+
+    def test_both_conditions_required(self, rig):
+        # "Both conditions must be met to avoid confusion when the LC
+        # cores enter active-idle modes" (§4.3): high power alone, with
+        # LC still fast, must NOT lower BE frequency.
+        server, actuators, counters = rig
+        actuators.enable_be()
+        actuators.set_be_cores(8)
+        controller = PowerController(HeraclesConfig(), actuators, counters,
+                                     lc_task="lc", guaranteed_ghz=1.3)
+        resolve(server, lc_activity=0.9, be_cores=8, be_activity=2.2)
+        assert counters.freq_of("lc") >= 1.3  # above the guarantee
+        controller.step(0.0)
+        assert actuators.be_dvfs_cap_ghz is None
+
+    def test_period(self, rig):
+        server, actuators, counters = rig
+        actuators.enable_be()
+        actuators.set_be_cores(8)
+        controller = PowerController(HeraclesConfig(), actuators, counters,
+                                     lc_task="lc", guaranteed_ghz=2.5)
+        resolve(server, lc_activity=0.9, be_cores=8, be_activity=2.2)
+        controller.step(0.0)
+        cap = actuators.be_dvfs_cap_ghz
+        controller.step(1.0)  # < 2 s: not due
+        assert actuators.be_dvfs_cap_ghz == cap
+        controller.step(2.0)
+        assert actuators.be_dvfs_cap_ghz < cap
+
+    def test_validation(self, rig):
+        _, actuators, counters = rig
+        with pytest.raises(ValueError):
+            PowerController(HeraclesConfig(), actuators, counters,
+                            lc_task="lc", guaranteed_ghz=0.0)
+
+
+class TestAlgorithm4:
+    def test_budget_formula(self, rig):
+        server, actuators, counters = rig
+        controller = NetworkController(HeraclesConfig(), actuators, counters,
+                                       lc_task="lc")
+        # be = LINK - ls - max(0.05*LINK, 0.10*ls)
+        assert controller.be_budget_gbps(2.0) == pytest.approx(
+            10.0 - 2.0 - 0.5)
+        assert controller.be_budget_gbps(8.0) == pytest.approx(
+            10.0 - 8.0 - 0.8)
+
+    def test_headroom_switches_at_crossover(self, rig):
+        server, actuators, counters = rig
+        controller = NetworkController(HeraclesConfig(), actuators, counters,
+                                       lc_task="lc")
+        # Below 5 Gbps of LC traffic the 5%-of-link floor dominates.
+        assert controller.be_budget_gbps(4.0) == pytest.approx(10 - 4 - 0.5)
+        # Above it, 10% of the LC bandwidth dominates.
+        assert controller.be_budget_gbps(6.0) == pytest.approx(10 - 6 - 0.6)
+
+    def test_sets_ceiling_from_measured_lc_traffic(self, rig):
+        server, actuators, counters = rig
+        controller = NetworkController(HeraclesConfig(), actuators, counters,
+                                       lc_task="lc")
+        resolve(server, lc_net=4.0, be_net=5.0, be_cores=2)
+        assert counters.tx_gbps_of("lc") == pytest.approx(4.0)
+        controller.step(0.0)
+        assert actuators.be_net_ceil_gbps == pytest.approx(10 - 4 - 0.5)
+
+    def test_negative_budget_clamped(self, rig):
+        server, actuators, counters = rig
+        controller = NetworkController(HeraclesConfig(), actuators, counters,
+                                       lc_task="lc")
+        resolve(server, lc_net=9.9, be_cores=0)
+        controller.step(0.0)
+        assert actuators.be_net_ceil_gbps == pytest.approx(0.0)
+
+    def test_one_second_period(self, rig):
+        server, actuators, counters = rig
+        controller = NetworkController(HeraclesConfig(), actuators, counters,
+                                       lc_task="lc")
+        resolve(server, lc_net=2.0, be_cores=0)
+        controller.step(0.0)
+        first = actuators.be_net_ceil_gbps
+        resolve(server, lc_net=6.0, be_cores=0)
+        controller.step(0.5)  # not due
+        assert actuators.be_net_ceil_gbps == pytest.approx(first)
+        controller.step(1.0)
+        assert actuators.be_net_ceil_gbps == pytest.approx(10 - 6 - 0.6)
+
+    def test_protects_lc_under_mice_flood(self, rig):
+        # End to end: the 1 Hz loop converges to a ceiling that fully
+        # delivers the LC task's traffic despite an 800-flow flood
+        # ("provides sufficient time for the bandwidth enforcer to
+        # settle", §4.3).  Each round: measure LC bandwidth, set the
+        # ceiling, re-resolve the link.
+        server, actuators, counters = rig
+        controller = NetworkController(HeraclesConfig(), actuators, counters,
+                                       lc_task="lc")
+        actuators.enable_be()
+        satisfaction = 0.0
+        for second in range(15):
+            demands = [
+                TaskTickDemand(task="lc", cores_by_socket={0: 9, 1: 9},
+                               activity=0.5, net_demand_gbps=6.0,
+                               net_flows=64),
+                TaskTickDemand(task="be", cores_by_socket={0: 1, 1: 1},
+                               activity=0.2, net_demand_gbps=10.0,
+                               net_flows=800,
+                               net_ceil_gbps=actuators.be_net_ceil_gbps),
+            ]
+            usages = server.resolve(demands)
+            satisfaction = usages["lc"].net_satisfaction
+            controller.step(float(second))
+        assert satisfaction == pytest.approx(1.0)
+        # BE still gets the leftover, not zero.
+        assert usages["be"].net_achieved_gbps > 2.0

@@ -1,0 +1,197 @@
+"""Tests for the top-level controller (Algorithm 1)."""
+
+import pytest
+
+from repro.core.config import HeraclesConfig
+from repro.core.state import ControlState
+from repro.core.top_level import TopLevelController
+from repro.hardware.server import Server
+from repro.hardware.spec import default_machine_spec
+from repro.sim.actuators import Actuators
+from repro.sim.monitors import LatencyMonitor
+
+SLO_MS = 20.0
+
+
+@pytest.fixture
+def rig():
+    server = Server(default_machine_spec())
+    actuators = Actuators(server)
+    state = ControlState()
+    monitor = LatencyMonitor()
+    controller = TopLevelController(HeraclesConfig(), state, actuators,
+                                    monitor, slo_target_ms=SLO_MS)
+    return controller, state, actuators, monitor
+
+
+def feed(monitor, now_s, tail_ms, load, span=16):
+    """Fill the monitor's window with uniform samples ending at now_s."""
+    start = max(0.0, now_s - span + 1)
+    for i in range(int(span)):
+        monitor.record(start + i, tail_ms, load)
+
+
+class TestAlgorithm1:
+    def test_negative_slack_disables_and_cools_down(self, rig):
+        controller, state, actuators, monitor = rig
+        actuators.enable_be()
+        feed(monitor, 15.0, tail_ms=25.0, load=0.5)  # slack < 0
+        controller.step(15.0)
+        assert not actuators.be_enabled
+        assert state.in_cooldown(15.0 + 1.0)
+        assert state.in_cooldown(15.0 + 290.0)
+        assert not state.in_cooldown(15.0 + 301.0)
+
+    def test_high_load_disables_without_cooldown(self, rig):
+        controller, state, actuators, monitor = rig
+        actuators.enable_be()
+        feed(monitor, 15.0, tail_ms=10.0, load=0.90)
+        controller.step(15.0)
+        assert not actuators.be_enabled
+        assert not state.in_cooldown(16.0)
+
+    def test_low_load_enables(self, rig):
+        controller, state, actuators, monitor = rig
+        feed(monitor, 15.0, tail_ms=10.0, load=0.50)
+        controller.step(15.0)
+        assert actuators.be_enabled
+        assert actuators.be_cores == 1  # fresh grant
+
+    def test_hysteresis_band_neither_enables_nor_disables(self, rig):
+        controller, state, actuators, monitor = rig
+        feed(monitor, 15.0, tail_ms=10.0, load=0.82)
+        controller.step(15.0)
+        assert not actuators.be_enabled  # was off, stays off
+
+        actuators.enable_be()
+        feed(monitor, 30.0, tail_ms=10.0, load=0.82)
+        controller.step(30.0)
+        assert actuators.be_enabled  # was on, stays on
+
+    def test_cooldown_blocks_reenable(self, rig):
+        controller, state, actuators, monitor = rig
+        actuators.enable_be()
+        feed(monitor, 15.0, tail_ms=25.0, load=0.5)
+        controller.step(15.0)
+        assert not actuators.be_enabled
+        feed(monitor, 30.0, tail_ms=5.0, load=0.5)
+        controller.step(30.0)
+        assert not actuators.be_enabled  # still cooling down
+        feed(monitor, 400.0, tail_ms=5.0, load=0.5)
+        controller.step(400.0)
+        assert actuators.be_enabled
+
+    def test_small_slack_disallows_growth(self, rig):
+        controller, state, actuators, monitor = rig
+        actuators.enable_be()
+        feed(monitor, 15.0, tail_ms=18.5, load=0.5)  # slack 7.5%
+        controller.step(15.0)
+        assert actuators.be_enabled
+        assert not state.growth_allowed
+        assert actuators.be_cores == 1  # no core cut at 5-10% slack
+
+    def test_tiny_slack_cuts_cores_to_floor(self, rig):
+        controller, state, actuators, monitor = rig
+        actuators.enable_be()
+        actuators.set_be_cores(10)
+        feed(monitor, 15.0, tail_ms=19.5, load=0.5)  # slack 2.5%
+        controller.step(15.0)
+        assert actuators.be_enabled
+        assert actuators.be_cores == HeraclesConfig().be_cores_floor
+
+    def test_large_slack_allows_growth(self, rig):
+        controller, state, actuators, monitor = rig
+        state.growth_allowed = False
+        feed(monitor, 15.0, tail_ms=5.0, load=0.5)
+        controller.step(15.0)
+        assert state.growth_allowed
+
+    def test_poll_period_respected(self, rig):
+        controller, state, actuators, monitor = rig
+        feed(monitor, 15.0, tail_ms=10.0, load=0.5)
+        controller.step(15.0)
+        assert actuators.be_enabled
+        actuators.disable_be()
+        feed(monitor, 30.0, tail_ms=10.0, load=0.5)
+        controller.step(20.0)  # only 5s later: not due
+        assert not actuators.be_enabled
+        controller.step(30.0)  # 15s later: due
+        assert actuators.be_enabled
+
+    def test_no_samples_no_action(self, rig):
+        controller, state, actuators, monitor = rig
+        controller.step(0.0)
+        assert not actuators.be_enabled
+        assert state.slack == pytest.approx(1.0)  # untouched
+
+    def test_state_is_published(self, rig):
+        controller, state, actuators, monitor = rig
+        feed(monitor, 15.0, tail_ms=10.0, load=0.42)
+        controller.step(15.0)
+        assert state.load == pytest.approx(0.42)
+        assert state.slack == pytest.approx(0.5)
+        assert state.last_latency_ms == pytest.approx(10.0)
+
+    def test_validation(self, rig):
+        controller, state, actuators, monitor = rig
+        with pytest.raises(ValueError):
+            TopLevelController(HeraclesConfig(), state, actuators, monitor,
+                               slo_target_ms=0.0)
+
+
+class TestConfigValidation:
+    def test_defaults_are_paper_constants(self):
+        cfg = HeraclesConfig()
+        assert cfg.poll_period_s == 15.0
+        assert cfg.load_disable_threshold == 0.85
+        assert cfg.load_enable_threshold == 0.80
+        assert cfg.cooldown_s == 300.0
+        assert cfg.slack_no_growth == 0.10
+        assert cfg.slack_cut_cores == 0.05
+        assert cfg.dram_limit_fraction == 0.90
+        assert cfg.power_tdp_threshold == 0.90
+        assert cfg.core_mem_period_s == 2.0
+        assert cfg.power_period_s == 2.0
+        assert cfg.network_period_s == 1.0
+
+    def test_bad_hysteresis(self):
+        import dataclasses
+        bad = dataclasses.replace(HeraclesConfig(),
+                                  load_enable_threshold=0.9,
+                                  load_disable_threshold=0.8)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_bad_slack_bands(self):
+        import dataclasses
+        bad = dataclasses.replace(HeraclesConfig(), slack_cut_cores=0.5)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_bad_periods(self):
+        import dataclasses
+        bad = dataclasses.replace(HeraclesConfig(), network_period_s=0.0)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+
+class TestControlState:
+    def test_cooldown_extends_not_shrinks(self):
+        state = ControlState()
+        state.enter_cooldown(0.0, 100.0)
+        state.enter_cooldown(10.0, 10.0)  # would end earlier
+        assert state.in_cooldown(50.0)
+
+    def test_can_grow_requires_all_conditions(self):
+        state = ControlState()
+        assert state.can_grow_be(0.0, be_enabled=True)
+        assert not state.can_grow_be(0.0, be_enabled=False)
+        state.growth_allowed = False
+        assert not state.can_grow_be(0.0, be_enabled=True)
+        state.growth_allowed = True
+        state.enter_cooldown(0.0, 10.0)
+        assert not state.can_grow_be(5.0, be_enabled=True)
+
+    def test_negative_cooldown_rejected(self):
+        with pytest.raises(ValueError):
+            ControlState().enter_cooldown(0.0, -1.0)

@@ -1,0 +1,128 @@
+"""Tests for repro.hardware.cpu: topology and DVFS state."""
+
+import pytest
+
+from repro.hardware.cpu import CoreId, CpuTopology, DvfsState
+from repro.hardware.spec import default_machine_spec
+
+
+@pytest.fixture
+def topology():
+    return CpuTopology(default_machine_spec())
+
+
+class TestCoreId:
+    def test_sibling_flips_thread(self):
+        c = CoreId(0, 3, 0)
+        assert c.sibling() == CoreId(0, 3, 1)
+        assert c.sibling().sibling() == c
+
+    def test_sibling_requires_two_way_smt(self):
+        with pytest.raises(ValueError):
+            CoreId(0, 0, 0).sibling(threads_per_core=4)
+
+    def test_physical_identity(self):
+        assert CoreId(1, 5, 0).physical == (1, 5)
+        assert CoreId(1, 5, 1).physical == (1, 5)
+
+    def test_ordering(self):
+        assert CoreId(0, 0, 0) < CoreId(0, 0, 1) < CoreId(0, 1, 0)
+
+
+class TestCpuTopology:
+    def test_thread_count(self, topology):
+        assert len(topology.all_threads()) == 72
+
+    def test_primary_threads_one_per_core(self, topology):
+        primary = topology.primary_threads()
+        assert len(primary) == 36
+        assert all(t.thread == 0 for t in primary)
+
+    def test_threads_on_socket(self, topology):
+        threads = topology.threads_on_socket(1)
+        assert len(threads) == 36
+        assert all(t.socket == 1 for t in threads)
+
+    def test_physical_cores(self, topology):
+        assert len(topology.physical_cores()) == 36
+
+    def test_contains(self, topology):
+        assert topology.contains(CoreId(0, 0, 0))
+        assert not topology.contains(CoreId(5, 0, 0))
+        assert not topology.contains(CoreId(0, 99, 0))
+
+    def test_siblings_of(self, topology):
+        threads = [CoreId(0, 0, 0), CoreId(1, 2, 1)]
+        siblings = topology.siblings_of(threads)
+        assert siblings == [CoreId(0, 0, 1), CoreId(1, 2, 0)]
+
+    def test_physical_core_count_dedups_siblings(self, topology):
+        threads = [CoreId(0, 0, 0), CoreId(0, 0, 1), CoreId(0, 1, 0)]
+        assert topology.physical_core_count(threads) == 2
+
+    def test_per_socket_core_count(self, topology):
+        threads = [CoreId(0, 0, 0), CoreId(0, 1, 0), CoreId(1, 0, 0)]
+        counts = topology.per_socket_core_count(threads)
+        assert counts == {0: 2, 1: 1}
+
+
+class TestDvfsState:
+    def test_uncapped_by_default(self, topology):
+        dvfs = DvfsState(topology)
+        assert dvfs.cap_ghz(CoreId(0, 0, 0)) is None
+
+    def test_set_and_read_cap(self, topology):
+        dvfs = DvfsState(topology)
+        dvfs.set_cap_ghz([CoreId(0, 0, 0)], 2.0)
+        assert dvfs.cap_ghz(CoreId(0, 0, 0)) == pytest.approx(2.0)
+        # Sibling shares the physical core, hence the cap.
+        assert dvfs.cap_ghz(CoreId(0, 0, 1)) == pytest.approx(2.0)
+
+    def test_cap_clamped_to_range(self, topology):
+        dvfs = DvfsState(topology)
+        dvfs.set_cap_ghz([CoreId(0, 0, 0)], 99.0)
+        turbo = topology.spec.socket.turbo
+        assert dvfs.cap_ghz(CoreId(0, 0, 0)) == pytest.approx(
+            turbo.max_turbo_ghz)
+
+    def test_unknown_core_rejected(self, topology):
+        dvfs = DvfsState(topology)
+        with pytest.raises(KeyError):
+            dvfs.set_cap_ghz([CoreId(9, 9, 0)], 2.0)
+
+    def test_step_down_from_uncapped(self, topology):
+        dvfs = DvfsState(topology)
+        core = CoreId(0, 0, 0)
+        dvfs.step_down([core])
+        turbo = topology.spec.socket.turbo
+        assert dvfs.cap_ghz(core) == pytest.approx(
+            turbo.max_turbo_ghz - turbo.step_ghz)
+
+    def test_step_down_floors_at_min(self, topology):
+        dvfs = DvfsState(topology)
+        core = CoreId(0, 0, 0)
+        dvfs.step_down([core], steps=100)
+        assert dvfs.cap_ghz(core) == pytest.approx(
+            topology.spec.socket.turbo.min_ghz)
+
+    def test_step_up_clears_at_max(self, topology):
+        dvfs = DvfsState(topology)
+        core = CoreId(0, 0, 0)
+        dvfs.set_cap_ghz([core], 2.0)
+        dvfs.step_up([core], steps=100)
+        assert dvfs.cap_ghz(core) == pytest.approx(
+            topology.spec.socket.turbo.max_turbo_ghz)
+
+    def test_step_up_noop_when_uncapped(self, topology):
+        dvfs = DvfsState(topology)
+        core = CoreId(0, 0, 0)
+        dvfs.step_up([core])
+        assert dvfs.cap_ghz(core) is None
+
+    def test_min_cap_on(self, topology):
+        dvfs = DvfsState(topology)
+        a, b = CoreId(0, 0, 0), CoreId(0, 1, 0)
+        assert dvfs.min_cap_on([a, b]) is None
+        dvfs.set_cap_ghz([a], 2.0)
+        dvfs.set_cap_ghz([b], 1.5)
+        assert dvfs.min_cap_on([a, b]) == pytest.approx(1.5)

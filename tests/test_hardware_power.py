@@ -1,0 +1,109 @@
+"""Tests for repro.hardware.power: RAPL, Turbo headroom, throttling."""
+
+import pytest
+
+from repro.hardware.power import (CorePowerRequest, RaplMeter,
+                                  SocketPowerModel)
+from repro.hardware.spec import SocketSpec
+
+
+@pytest.fixture
+def model():
+    return SocketPowerModel(SocketSpec())
+
+
+class TestFrequencyEquilibrium:
+    def test_few_idleish_cores_reach_high_turbo(self, model):
+        res = model.resolve([CorePowerRequest("lc", cores=2, activity=0.3)])
+        assert res.freq_of("lc") > 2.9
+        assert not res.throttled
+
+    def test_all_cores_full_activity_throttles(self, model):
+        res = model.resolve([CorePowerRequest("lc", cores=18, activity=1.0)])
+        assert res.throttled
+        assert res.freq_of("lc") < SocketSpec().turbo.all_core_turbo_ghz
+        assert res.socket_power_watts <= SocketSpec().tdp_watts + 1e-6
+
+    def test_power_virus_throttles_harder(self, model):
+        normal = model.resolve([CorePowerRequest("a", 18, activity=1.0)])
+        virus = model.resolve([CorePowerRequest("a", 18, activity=2.2)])
+        assert virus.freq_of("a") < normal.freq_of("a")
+
+    def test_dvfs_cap_respected(self, model):
+        res = model.resolve([CorePowerRequest("be", cores=4, activity=0.8,
+                                              dvfs_cap_ghz=1.5)])
+        assert res.freq_of("be") == pytest.approx(1.5)
+
+    def test_capping_be_frees_headroom_for_lc(self, model):
+        together = model.resolve([
+            CorePowerRequest("lc", cores=9, activity=0.9),
+            CorePowerRequest("be", cores=9, activity=2.0),
+        ])
+        be_capped = model.resolve([
+            CorePowerRequest("lc", cores=9, activity=0.9),
+            CorePowerRequest("be", cores=9, activity=2.0,
+                             dvfs_cap_ghz=1.2),
+        ])
+        assert be_capped.freq_of("lc") > together.freq_of("lc")
+
+    def test_frequency_never_below_floor(self, model):
+        res = model.resolve([CorePowerRequest("virus", 18, activity=3.0)])
+        assert res.freq_of("virus") >= SocketSpec().turbo.min_ghz - 1e-9
+
+    def test_idle_socket_power_is_idle_watts(self, model):
+        res = model.resolve([])
+        assert res.socket_power_watts == pytest.approx(
+            SocketSpec().idle_watts)
+
+    def test_power_grows_with_activity(self, model):
+        low = model.resolve([CorePowerRequest("a", 9, activity=0.3)])
+        high = model.resolve([CorePowerRequest("a", 9, activity=0.9)])
+        assert high.socket_power_watts > low.socket_power_watts
+
+    def test_unknown_task_raises(self, model):
+        res = model.resolve([CorePowerRequest("a", 2, activity=0.5)])
+        with pytest.raises(KeyError):
+            res.freq_of("b")
+
+    def test_power_fraction(self, model):
+        res = model.resolve([CorePowerRequest("a", 18, activity=1.0)])
+        assert res.power_fraction_of_tdp == pytest.approx(
+            res.socket_power_watts / SocketSpec().tdp_watts)
+
+
+class TestRequestValidation:
+    def test_negative_cores(self):
+        with pytest.raises(ValueError):
+            CorePowerRequest("a", -1, 0.5).validate()
+
+    def test_activity_range_allows_viruses(self):
+        CorePowerRequest("a", 1, 2.5).validate()
+        with pytest.raises(ValueError):
+            CorePowerRequest("a", 1, 3.5).validate()
+
+    def test_bad_cap(self):
+        with pytest.raises(ValueError):
+            CorePowerRequest("a", 1, 0.5, dvfs_cap_ghz=0.0).validate()
+
+
+class TestRaplMeter:
+    def test_first_reading(self):
+        meter = RaplMeter(tdp_watts=120.0)
+        meter.record(60.0)
+        assert meter.read_watts() == pytest.approx(60.0)
+        assert meter.read_fraction_of_tdp() == pytest.approx(0.5)
+
+    def test_smoothing(self):
+        meter = RaplMeter(tdp_watts=120.0, smoothing=0.5)
+        meter.record(100.0)
+        meter.record(50.0)
+        assert meter.read_watts() == pytest.approx(75.0)
+
+    def test_negative_power_rejected(self):
+        meter = RaplMeter(120.0)
+        with pytest.raises(ValueError):
+            meter.record(-1.0)
+
+    def test_bad_smoothing(self):
+        with pytest.raises(ValueError):
+            RaplMeter(120.0, smoothing=0.0)

@@ -1,0 +1,51 @@
+"""Tests for the transcribed paper data and the agreement scorer."""
+
+import pytest
+
+from repro.experiments.fig1_interference import run_fig1
+from repro.experiments.paper_data import (PAPER_FIG1, AgreementReport,
+                                          figure1_agreement)
+from repro.workloads.traces import load_sweep
+
+
+class TestTranscription:
+    def test_structure(self):
+        assert set(PAPER_FIG1) == {"websearch", "ml_cluster", "memkeyval"}
+        for rows in PAPER_FIG1.values():
+            assert len(rows) == 8
+            for values in rows.values():
+                assert len(values) == 19
+
+    def test_known_cells(self):
+        # Spot checks against the paper text.
+        ws = PAPER_FIG1["websearch"]
+        assert ws["CPU power"][0] == pytest.approx(1.90)   # 190% @ 5%
+        assert ws["Network"][0] == pytest.approx(0.35)     # 35% @ 5%
+        assert ws["LLC (big)"][17] == pytest.approx(1.23)  # 123% @ 90%
+        kv = PAPER_FIG1["memkeyval"]
+        assert kv["HyperThread"][0] == pytest.approx(0.26)
+        assert kv["Network"][6] == pytest.approx(3.5)      # >300% @ 35%
+
+    def test_saturated_cells_use_sentinel(self):
+        brain = PAPER_FIG1["memkeyval"]["brain"]
+        assert all(v == pytest.approx(3.5) for v in brain[2:])
+
+
+class TestAgreement:
+    @pytest.fixture(scope="class")
+    def report(self):
+        tables = run_fig1(loads=load_sweep())
+        return figure1_agreement(tables)
+
+    def test_overall_agreement_at_least_two_thirds(self, report):
+        assert isinstance(report, AgreementReport)
+        assert report.total == 456  # 3 workloads x 8 rows x 19 loads
+        assert report.fraction >= 0.66
+
+    def test_perfect_rows(self, report):
+        # The rows that define the paper's headline claims agree
+        # essentially cell for cell.
+        assert report.per_row[("websearch", "brain")] >= 18
+        assert report.per_row[("websearch", "Network")] >= 18
+        assert report.per_row[("ml_cluster", "DRAM")] >= 18
+        assert report.per_row[("memkeyval", "brain")] >= 18

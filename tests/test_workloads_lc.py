@@ -1,0 +1,196 @@
+"""Tests for repro.workloads.latency_critical: the three LC services."""
+
+import pytest
+
+from repro.hardware.server import Server
+from repro.hardware.spec import default_machine_spec
+from repro.workloads.base import Allocation, spread_cores
+from repro.workloads.latency_critical import (LC_PROFILES, MEMKEYVAL,
+                                              ML_CLUSTER, WEBSEARCH,
+                                              make_lc_workload)
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    spec = default_machine_spec()
+    return {name: make_lc_workload(name, spec) for name in LC_PROFILES}
+
+
+def baseline_tail(lc, load):
+    server = Server(lc.spec)
+    alloc = Allocation(cores_by_socket=spread_cores(lc.spec.total_cores,
+                                                    lc.spec))
+    usages = server.resolve([lc.demand(load, alloc)])
+    return lc.tail_latency_ms(
+        load, usages[lc.name],
+        link_utilization=server.telemetry.link_utilization)
+
+
+class TestProfilesMatchPaper:
+    """Each profile encodes a quantitative statement from §3.1."""
+
+    def test_names(self):
+        assert set(LC_PROFILES) == {"websearch", "ml_cluster", "memkeyval"}
+
+    def test_slo_scales(self):
+        # "tens of milliseconds" vs "a few hundreds of microseconds".
+        assert 10.0 <= WEBSEARCH.slo_latency_ms <= 50.0
+        assert 10.0 <= ML_CLUSTER.slo_latency_ms <= 50.0
+        assert 0.1 <= MEMKEYVAL.slo_latency_ms <= 0.5
+
+    def test_slo_percentiles(self):
+        assert WEBSEARCH.slo_percentile == 0.99
+        assert ML_CLUSTER.slo_percentile == 0.95  # 95%-ile per the paper
+        assert MEMKEYVAL.slo_percentile == 0.99
+
+    def test_dram_fractions(self):
+        # 40% / 60% / 20% of available bandwidth at peak (§3.1).
+        assert WEBSEARCH.dram_frac_at_peak == pytest.approx(0.40)
+        assert ML_CLUSTER.dram_frac_at_peak == pytest.approx(0.60)
+        assert MEMKEYVAL.dram_frac_at_peak == pytest.approx(0.20)
+
+    def test_ml_cluster_superlinear_dram(self):
+        assert ML_CLUSTER.dram_load_exponent > 1.2
+        assert WEBSEARCH.dram_load_exponent == pytest.approx(1.0)
+
+    def test_memkeyval_network_bound(self):
+        assert MEMKEYVAL.net_frac_at_peak > 0.8
+        assert WEBSEARCH.net_frac_at_peak < 0.2
+        assert ML_CLUSTER.net_frac_at_peak < 0.2
+
+    def test_memkeyval_high_qps(self, workloads):
+        # "hundreds of thousands of requests per second at peak".
+        assert workloads["memkeyval"].peak_qps > 100_000
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            make_lc_workload("nope")
+
+
+class TestCalibration:
+    def test_unloaded_tail_fraction(self, workloads):
+        for name, lc in workloads.items():
+            fraction = baseline_tail(lc, 0.0) / lc.profile.slo_latency_ms
+            # Baseline runs at turbo, so it lands at or below the
+            # nominal-frequency calibration point.
+            assert fraction <= lc.profile.unloaded_tail_fraction + 0.02
+
+    def test_baseline_meets_slo_at_95(self, workloads):
+        for name, lc in workloads.items():
+            assert baseline_tail(lc, 0.95) <= lc.profile.slo_latency_ms
+
+    def test_baseline_monotone_in_load(self, workloads):
+        for lc in workloads.values():
+            tails = [baseline_tail(lc, l) for l in (0.1, 0.4, 0.7, 0.95)]
+            assert all(b >= a * 0.999 for a, b in zip(tails, tails[1:]))
+
+    def test_baseline_rises_substantially(self, workloads):
+        for lc in workloads.values():
+            assert baseline_tail(lc, 0.95) > 1.5 * baseline_tail(lc, 0.05)
+
+
+class TestDemandCurves:
+    def test_dram_target_at_peak(self, workloads):
+        lc = workloads["websearch"]
+        assert lc.dram_target_gbps(1.0) == pytest.approx(0.40 * 120.0)
+
+    def test_dram_superlinear_for_ml_cluster(self, workloads):
+        lc = workloads["ml_cluster"]
+        half = lc.dram_target_gbps(0.5)
+        full = lc.dram_target_gbps(1.0)
+        assert full > 2.5 * half  # super-linear growth
+
+    def test_net_demand_linear(self, workloads):
+        lc = workloads["memkeyval"]
+        assert lc.net_demand_gbps(0.5) == pytest.approx(
+            0.5 * lc.net_demand_gbps(1.0))
+
+    def test_required_cores_monotone(self, workloads):
+        lc = workloads["websearch"]
+        cores = [lc.required_cores(l) for l in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert cores == sorted(cores)
+        assert cores[0] >= 1
+        assert cores[-1] <= lc.spec.total_cores
+
+    def test_required_cores_meet_target(self, workloads):
+        from repro.perf.queueing import QueueModel
+        lc = workloads["websearch"]
+        for load in (0.2, 0.6):
+            k = lc.required_cores(load, target_fraction=0.9)
+            model = QueueModel(servers=k, service_ms=lc.base_service_ms,
+                               service_tail_mult=lc.profile.service_tail_mult,
+                               percentile=lc.profile.slo_percentile,
+                               pool_size=lc.profile.pool_size)
+            assert (model.tail_latency_ms(lc.qps_at(load))
+                    <= 0.9 * lc.profile.slo_latency_ms + 1e-9)
+
+    def test_demand_structure(self, workloads):
+        lc = workloads["websearch"]
+        alloc = Allocation(cores_by_socket={0: 9, 1: 9})
+        demand = lc.demand(0.5, alloc)
+        assert demand.total_cores() == 18
+        assert set(demand.cache_by_socket) == {0, 1}
+        assert demand.net_demand_gbps > 0
+        assert 0 < demand.activity <= 1.0
+
+    def test_zero_cores_rho_infinite(self, workloads):
+        lc = workloads["websearch"]
+        assert lc.offered_rho(0.5, 0) == float("inf")
+
+
+class TestLatencyModel:
+    def test_noise_is_reproducible(self, workloads):
+        import numpy as np
+        lc = workloads["websearch"]
+        server = Server(lc.spec)
+        alloc = Allocation(cores_by_socket=spread_cores(36, lc.spec))
+        usages = server.resolve([lc.demand(0.5, alloc)])
+        t1 = lc.tail_latency_ms(0.5, usages[lc.name],
+                                rng=np.random.default_rng(7))
+        t2 = lc.tail_latency_ms(0.5, usages[lc.name],
+                                rng=np.random.default_rng(7))
+        assert t1 == pytest.approx(t2)
+
+    def test_sched_delay_is_additive(self, workloads):
+        lc = workloads["websearch"]
+        server = Server(lc.spec)
+        alloc = Allocation(cores_by_socket=spread_cores(36, lc.spec))
+        usages = server.resolve([lc.demand(0.5, alloc)])
+        base = lc.tail_latency_ms(0.5, usages[lc.name])
+        delayed = lc.tail_latency_ms(0.5, usages[lc.name],
+                                     sched_delay_ms=10.0)
+        assert delayed == pytest.approx(base + 10.0)
+
+    def test_zero_cores_raises(self, workloads):
+        lc = workloads["websearch"]
+        server = Server(lc.spec)
+        alloc = Allocation(cores_by_socket=spread_cores(36, lc.spec))
+        usages = server.resolve([lc.demand(0.5, alloc)])
+        import dataclasses
+        broken = dataclasses.replace(usages[lc.name], cores=0)
+        with pytest.raises(ValueError):
+            lc.tail_latency_ms(0.5, broken)
+
+    def test_slo_fraction(self, workloads):
+        lc = workloads["websearch"]
+        assert lc.slo_fraction(12.5) == pytest.approx(0.5)
+
+
+class TestProfileValidation:
+    def test_bad_unloaded_fraction(self):
+        import dataclasses
+        bad = dataclasses.replace(WEBSEARCH, unloaded_tail_fraction=0.99)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_bad_pool_size(self):
+        import dataclasses
+        bad = dataclasses.replace(WEBSEARCH, pool_size=0)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_bad_dram_fraction(self):
+        import dataclasses
+        bad = dataclasses.replace(WEBSEARCH, dram_frac_at_peak=1.5)
+        with pytest.raises(ValueError):
+            bad.validate()
