@@ -26,7 +26,8 @@ from typing import Optional
 from .core import (HeraclesConfig, HeraclesController, LcDramBandwidthModel,
                    profile_lc_dram_model)
 from .hardware import MachineSpec, Server, default_machine_spec
-from .sim import ColocationSim, SimHistory
+from .sim import (BatchColocationSim, ColocationSim, SimHistory,
+                  memoized_dram_model, run_sweep)
 from .workloads import (ConstantLoad, LoadTrace, make_be_workload,
                         make_lc_workload)
 
@@ -36,7 +37,8 @@ __all__ = [
     "HeraclesConfig", "HeraclesController",
     "LcDramBandwidthModel", "profile_lc_dram_model",
     "MachineSpec", "Server", "default_machine_spec",
-    "ColocationSim", "SimHistory",
+    "BatchColocationSim", "ColocationSim", "SimHistory",
+    "memoized_dram_model", "run_sweep",
     "ConstantLoad", "LoadTrace", "make_be_workload", "make_lc_workload",
     "build_colocation",
     "__version__",

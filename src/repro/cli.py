@@ -46,11 +46,22 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(EXPERIMENTS) + ["quickstart", "all"],
         help="which artefact to regenerate (fig8 takes minutes; "
              "'all' runs everything)")
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for sweep fan-out (default: one per "
+             "CPU; 1 forces the serial path)")
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.jobs is not None:
+        if args.jobs < 1:
+            raise SystemExit("--jobs must be >= 1")
+        import os
+
+        from .sim.runner import JOBS_ENV
+        os.environ[JOBS_ENV] = str(args.jobs)
     if args.experiment == "quickstart":
         quickstart()
         return 0

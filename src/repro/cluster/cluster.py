@@ -5,6 +5,18 @@ diurnal trace (load 20%-90%).  Heracles runs on every leaf; brain runs
 on half the leaves and streetview on the other half.  The experiment
 reports, over the trace: root latency vs the cluster SLO, and
 cluster-wide EMU (average ~90%, minimum ~80% in the paper).
+
+Execution backends
+------------------
+
+``engine="batch"`` (default) advances all leaves per tick in one
+vectorized step through :class:`~repro.sim.batch.BatchColocationSim` —
+the leaves are homogeneous hardware, so their contention physics
+resolves as array math, which is what makes large clusters and long
+diurnal traces tractable.  ``engine="scalar"`` keeps the original
+one-``ColocationSim``-per-leaf loop as the reference implementation;
+both produce numerically identical cluster metrics for the same seed
+(enforced by ``benchmarks/test_bench_batch.py``).
 """
 
 from __future__ import annotations
@@ -15,11 +27,14 @@ from typing import List, Optional
 import numpy as np
 
 from ..core.config import HeraclesConfig
+from ..core.controller import HeraclesController
 from ..core.dram_model import profile_lc_dram_model
 from ..hardware.spec import MachineSpec, default_machine_spec
+from ..sim.batch import BatchColocationSim
+from ..workloads.best_effort import make_be_workload
 from ..workloads.latency_critical import make_lc_workload
 from ..workloads.traces import LoadTrace, websearch_cluster_trace
-from .leaf import Leaf, LeafConfig
+from .leaf import Leaf, LeafConfig, make_leaf_lc
 from .root import RootAggregator
 
 
@@ -64,13 +79,17 @@ class WebsearchCluster:
                  heracles_config: Optional[HeraclesConfig] = None,
                  managed: bool = True,
                  record_period_s: float = 30.0,
-                 seed: int = 0):
+                 seed: int = 0,
+                 engine: str = "batch"):
         if leaves < 2:
             raise ValueError("a cluster needs at least two leaves")
+        if engine not in ("batch", "scalar"):
+            raise ValueError(f"unknown engine {engine!r}")
         self.spec = spec or default_machine_spec()
         self.trace = trace or websearch_cluster_trace(seed=seed)
         self.record_period_s = record_period_s
         self.managed = managed
+        self.engine = engine
 
         # SLO targets.  The root SLO is the baseline's µ/30s at 90% load
         # without colocation (§5.3) — which, through the fan-out, already
@@ -88,22 +107,49 @@ class WebsearchCluster:
         # "Heracles shares the same offline model ... across all leaves."
         shared_model = profile_lc_dram_model(reference) if managed else None
 
+        self.batch: Optional[BatchColocationSim] = None
         self.leaves: List[Leaf] = []
-        for i in range(leaves):
-            be_name = "brain" if i % 2 == 0 else "streetview"
-            leaf = Leaf(
-                LeafConfig(index=i, be_name=be_name,
-                           leaf_slo_ms=self.leaf_slo_ms,
-                           seed=seed * 1000 + i),
-                trace=self.trace, spec=self.spec,
-                shared_dram_model=shared_model,
-                heracles_config=heracles_config,
-                managed=managed)
-            self.leaves.append(leaf)
+        configs = [
+            LeafConfig(index=i,
+                       be_name="brain" if i % 2 == 0 else "streetview",
+                       leaf_slo_ms=self.leaf_slo_ms,
+                       seed=seed * 1000 + i)
+            for i in range(leaves)
+        ]
+        if engine == "batch":
+            # One shared LC instance (the leaves are homogeneous and the
+            # workload model is stateless) and one BE instance per task.
+            lc = make_leaf_lc(self.spec, self.leaf_slo_ms)
+            be_by_name = {name: make_be_workload(name, self.spec)
+                          for name in ("brain", "streetview")}
+            self.batch = BatchColocationSim(
+                lc=lc, trace=self.trace,
+                bes=[be_by_name[c.be_name] for c in configs],
+                spec=self.spec, seeds=[c.seed for c in configs],
+                record_history=False)
+            for member in self.batch.members:
+                if managed:
+                    HeraclesController.for_sim(
+                        member, config=heracles_config,
+                        dram_model=shared_model)
+            self.leaves = [
+                Leaf(config, trace=self.trace, spec=self.spec,
+                     managed=managed, member=member)
+                for config, member in zip(configs, self.batch.members)
+            ]
+        else:
+            self.leaves = [
+                Leaf(config, trace=self.trace, spec=self.spec,
+                     shared_dram_model=shared_model,
+                     heracles_config=heracles_config,
+                     managed=managed, engine="scalar")
+                for config in configs
+            ]
 
         self.root = RootAggregator()
         self.history = ClusterHistory()
         self.time_s = 0.0
+        self._tick_index = 0
 
     @staticmethod
     def _baseline_tail_ms(lc, load: float) -> float:
@@ -119,15 +165,30 @@ class WebsearchCluster:
 
     # ------------------------------------------------------------------
 
-    def tick(self) -> None:
-        tails = []
-        emus = []
-        for leaf in self.leaves:
-            record = leaf.tick()
-            tails.append(record.tail_latency_ms)
-            emus.append(record.emu)
-        root_latency = self.root.record(self.time_s, tails)
-        if (self.time_s % self.record_period_s) < 1.0:
+    def tick(self, dt_s: float = 1.0) -> None:
+        """Advance the whole cluster by one interval.
+
+        Cluster records are appended every ``record_period_s`` of
+        simulated time, derived from the actual tick size (the cadence
+        is tick-counted, so it stays correct for any ``dt_s``, not just
+        the historical 1-second tick).
+        """
+        if dt_s <= 0:
+            raise ValueError("dt must be positive")
+        if self.batch is not None:
+            result = self.batch.tick(dt_s)
+            tails = result.tail_latency_ms.tolist()
+            emus = result.emu.tolist()
+        else:
+            tails = []
+            emus = []
+            for leaf in self.leaves:
+                record = leaf.sim.tick(dt_s)
+                tails.append(record.tail_latency_ms)
+                emus.append(record.emu)
+        self.root.record(self.time_s, tails)
+        record_every = max(1, int(round(self.record_period_s / dt_s)))
+        if self._tick_index % record_every == 0:
             windowed = self.root.windowed_latency_ms()
             self.history.records.append(ClusterRecord(
                 t_s=self.time_s,
@@ -136,9 +197,11 @@ class WebsearchCluster:
                 root_slo_fraction=windowed / self.root_slo_ms,
                 emu=float(np.mean(emus)),
             ))
-        self.time_s += 1.0
+        self.time_s += dt_s
+        self._tick_index += 1
 
-    def run(self, duration_s: float) -> ClusterHistory:
-        for _ in range(int(duration_s)):
-            self.tick()
+    def run(self, duration_s: float, dt_s: float = 1.0) -> ClusterHistory:
+        steps = int(round(duration_s / dt_s))
+        for _ in range(steps):
+            self.tick(dt_s)
         return self.history

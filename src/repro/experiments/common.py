@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..core.config import HeraclesConfig
 from ..core.controller import HeraclesController
@@ -28,6 +28,7 @@ from ..hardware.server import Server
 from ..hardware.spec import MachineSpec, default_machine_spec
 from ..oslayer.scheduler import CfsSharedCoreModel
 from ..sim.engine import ColocationSim, SimHistory
+from ..sim.runner import memoized_dram_model, run_sweep
 from ..workloads.antagonists import AntagonistSpec, Placement, make_antagonist
 from ..workloads.base import Allocation, spread_cores
 from ..workloads.best_effort import BestEffortWorkload, make_be_workload
@@ -189,3 +190,39 @@ def run_colocation(lc_name: str, be_name: str, load: float,
         mean_be_net_gbps=history.mean("be_net_gbps", skip_s=warmup_s),
         history=history,
     )
+
+
+def colocation_sweep(lc_name: str,
+                     be_names: Sequence[str],
+                     loads: Sequence[float],
+                     duration_s: float = 900.0,
+                     warmup_s: float = 240.0,
+                     spec: Optional[MachineSpec] = None,
+                     config: Optional[HeraclesConfig] = None,
+                     seed: int = 0,
+                     processes: Optional[int] = None
+                     ) -> Dict[str, List[ColocationResult]]:
+    """Run the (BE task x load) colocation grid through the sweep runner.
+
+    Every grid cell is an independent :func:`run_colocation`; the cells
+    fan out across a process pool (see :func:`repro.sim.runner.
+    run_sweep`) and the offline DRAM model is profiled exactly once in
+    the parent and shipped to the workers, instead of once per cell.
+
+    Returns:
+        ``{be_name: [ColocationResult per load, in load order]}``.
+    """
+    spec = spec or default_machine_spec()
+    model = memoized_dram_model(lc_name, spec)
+    points = [
+        ((), dict(lc_name=lc_name, be_name=be_name, load=load,
+                  duration_s=duration_s, warmup_s=warmup_s, spec=spec,
+                  config=config, dram_model=model, seed=seed))
+        for be_name in be_names for load in loads
+    ]
+    results = run_sweep(run_colocation, points, processes=processes,
+                        star=True)
+    grid: Dict[str, List[ColocationResult]] = {}
+    for result in results:
+        grid.setdefault(result.be_name, []).append(result)
+    return grid

@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..hardware.spec import MachineSpec, default_machine_spec
 from ..workloads.latency_critical import LC_PROFILES
-from .common import ColocationResult, baseline_cell, run_colocation
+from .common import ColocationResult, baseline_cell, colocation_sweep
 
 #: BE tasks shown in Figure 4 (iperf omitted for websearch/ml_cluster in
 #: the paper's plot because they are network-insensitive; we compute it
@@ -60,8 +60,14 @@ def run_sweep(lc_name: str,
               loads: Sequence[float] = DEFAULT_LOADS,
               duration_s: float = 900.0,
               spec: Optional[MachineSpec] = None,
-              seed: int = 0) -> ColocationSweep:
-    """Run the Heracles colocation grid for one LC workload."""
+              seed: int = 0,
+              processes: Optional[int] = None) -> ColocationSweep:
+    """Run the Heracles colocation grid for one LC workload.
+
+    The (BE task x load) grid fans out across a process pool via
+    :func:`repro.experiments.common.colocation_sweep`; pass
+    ``processes=1`` (or set ``REPRO_JOBS=1``) to force the serial path.
+    """
     if lc_name not in LC_PROFILES:
         raise KeyError(f"unknown LC workload {lc_name!r}")
     spec = spec or default_machine_spec()
@@ -69,12 +75,9 @@ def run_sweep(lc_name: str,
     from ..workloads.latency_critical import make_lc_workload
     lc = make_lc_workload(lc_name, spec)
     sweep.baseline_slo = [baseline_cell(lc, load, spec) for load in loads]
-    for be_name in be_tasks:
-        sweep.results[be_name] = [
-            run_colocation(lc_name, be_name, load,
-                           duration_s=duration_s, spec=spec, seed=seed)
-            for load in loads
-        ]
+    sweep.results = colocation_sweep(
+        lc_name, be_tasks, loads, duration_s=duration_s, spec=spec,
+        seed=seed, processes=processes)
     return sweep
 
 

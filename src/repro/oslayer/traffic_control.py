@@ -69,6 +69,8 @@ class HtbQdisc:
         if ceil_gbps is not None:
             ceil_gbps = min(max(0.0, ceil_gbps), self.link_gbps)
         old = self._classes[name]
+        if ceil_gbps == old.ceil_gbps:
+            return  # no-op change; skip the class rebuild
         rate = min(old.rate_gbps, ceil_gbps) if ceil_gbps is not None else old.rate_gbps
         self._classes[name] = HtbClass(name=name, rate_gbps=rate,
                                        ceil_gbps=ceil_gbps)

@@ -1,0 +1,1068 @@
+"""Batched multi-server simulation backend.
+
+:class:`BatchColocationSim` advances N homogeneous-hardware servers —
+each hosting one LC workload and (optionally) one BE task group — in a
+single vectorized step per tick.  The contention physics that
+:class:`~repro.sim.engine.ColocationSim` resolves object-by-object
+(power/frequency equilibrium, CAT cache occupancy, DRAM channel
+sharing, egress max-min fairness, M/M/k tail latency) is expressed here
+as NumPy array math over all servers at once, following the
+resource-model philosophy of summing costs analytically instead of
+event-stepping them.
+
+Equivalence contract
+--------------------
+
+The batch backend is a *drop-in numerical replica* of the scalar
+engine, not an approximation: every formula is evaluated with the same
+operation ordering the scalar code uses (the same left-associated
+products, the same 40-iteration power bisection, the same Erlang-B
+recurrence), and tail-latency noise is drawn from one independently
+seeded :class:`numpy.random.Generator` per server, in server order —
+so a batch of N servers produces tick-for-tick the same
+:class:`~repro.sim.engine.TickRecord` stream as N scalar
+``ColocationSim`` instances with the same seeds.  The equivalence is
+enforced by ``tests/test_batch_equivalence.py`` and by the cluster
+benchmark (``benchmarks/test_bench_batch.py``).
+
+Controllers are *not* vectorized: each member server keeps a real
+:class:`~repro.sim.actuators.Actuators`, latency/throughput monitors,
+and (optionally) a real :class:`~repro.core.controller.
+HeraclesController` — attached with the unmodified
+``HeraclesController.for_sim`` — observing the batch-resolved state
+through a :class:`CounterBank`-compatible view.  Controller logic is a
+few comparisons per server per period; the physics was the hot path,
+and it is the part that vectorizes.
+
+Typical use::
+
+    from repro.sim.batch import BatchColocationSim
+    from repro.core.controller import HeraclesController
+
+    batch = BatchColocationSim(lc=lc, trace=trace, bes=[be] * 16,
+                               spec=spec, seeds=range(16))
+    for m in batch.members:
+        HeraclesController.for_sim(m, dram_model=shared_model)
+    batch.run(3600.0)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..hardware.cache import CatController
+from ..hardware.counters import CounterBank
+from ..hardware.server import Server
+from ..hardware.spec import MachineSpec
+from ..workloads.best_effort import (BestEffortWorkload,
+                                     reference_throughput_units)
+from ..workloads.latency_critical import LatencyCriticalWorkload
+from ..workloads.traces import LoadTrace
+from .actuators import BE_COS, Actuators
+from .engine import Controller, SimHistory, TickRecord
+from .monitors import LatencyMonitor, ThroughputMonitor
+
+
+class BatchCounterView(CounterBank):
+    """Per-member :class:`CounterBank` backed by the batch tick arrays.
+
+    Controllers read hardware telemetry through this view exactly as
+    they would through a scalar server's counter bank; every override
+    returns the batch-resolved value for this member's server.
+    """
+
+    def __init__(self, batch: "BatchColocationSim", index: int,
+                 server: Server):
+        super().__init__(server)
+        self._batch = batch
+        self._i = index
+
+    # -- DRAM ----------------------------------------------------------
+
+    def dram_total_bw_gbps(self) -> float:
+        return float(self._batch._tick["dram_total_gbps"][self._i])
+
+    def dram_utilization(self) -> float:
+        return float(self._batch._tick["dram_max_util"][self._i])
+
+    def worst_socket_dram_bw_gbps(self) -> float:
+        return float(self._batch._tick["worst_socket_dram_gbps"][self._i])
+
+    def dram_bw_of(self, task: str) -> float:
+        batch, i = self._batch, self._i
+        if task == batch.members[i].lc.name:
+            return float(batch._tick["lc_dram_ach"][i])
+        be = batch.members[i].be
+        if be is not None and task == be.name:
+            if batch._tick["be_running"][i]:
+                return float(batch._tick["be_dram_ach"][i])
+        return 0.0
+
+    def per_task_dram_gbps(self) -> Dict[str, float]:
+        batch, i = self._batch, self._i
+        out = {batch.members[i].lc.name: float(batch._tick["lc_dram_ach"][i])}
+        be = batch.members[i].be
+        if be is not None and batch._tick["be_running"][i]:
+            out[be.name] = float(batch._tick["be_dram_ach"][i])
+        return out
+
+    # -- Power / frequency ----------------------------------------------
+
+    def socket_power_watts(self, socket: int) -> float:
+        return float(self._batch._rapl_watts[self._i, socket])
+
+    def power_fraction_of_tdp(self, socket: int) -> float:
+        return (self._batch._rapl_watts[self._i, socket]
+                / self._server.spec.socket.tdp_watts)
+
+    def max_power_fraction_of_tdp(self) -> float:
+        return float(max(
+            self.power_fraction_of_tdp(s)
+            for s in range(self._server.spec.sockets)))
+
+    def freq_of(self, task: str) -> Optional[float]:
+        batch, i = self._batch, self._i
+        if task == batch.members[i].lc.name:
+            return float(batch._tick["lc_freq_ghz"][i])
+        be = batch.members[i].be
+        if be is not None and task == be.name:
+            if batch._tick["be_running"][i]:
+                return float(batch._tick["be_freq_ghz"][i])
+        return None
+
+    # -- Network ---------------------------------------------------------
+
+    def tx_gbps_of(self, task: str) -> float:
+        batch, i = self._batch, self._i
+        if task == batch.members[i].lc.name:
+            # Plain-float list view: the network subcontroller polls
+            # this every simulated second on every member.
+            return batch._lc_net_list[i]
+        be = batch.members[i].be
+        if be is not None and task == be.name:
+            if batch._tick["be_running"][i]:
+                return float(batch._tick["be_net_ach"][i])
+        return 0.0
+
+    def link_tx_gbps(self) -> float:
+        return float(self._batch._tick["link_tx_gbps"][self._i])
+
+    # -- CPU -------------------------------------------------------------
+
+    def cpu_utilization(self) -> float:
+        return float(self._batch._tick["cpu_utilization"][self._i])
+
+
+class _PassiveCat(CatController):
+    """CAT mirror for batch members: state without re-validation.
+
+    The batch physics reads partition sizes straight from the
+    actuators, so the member server's CAT controllers only mirror
+    state for introspection.  :class:`Actuators` clamps every split to
+    a valid configuration before writing (LC + BE ways always sum to
+    the cache), which makes the scalar ``set_partition`` overflow check
+    pure per-tick overhead on the controllers' LLC-probe hot path.
+    """
+
+    def set_partition(self, cos: str, ways: int) -> None:
+        if ways == 0:
+            self._classes.pop(cos, None)
+        else:
+            self._classes[cos] = ways
+
+
+class BatchMember:
+    """One server of a batch, presented with the scalar-sim surface.
+
+    Exposes exactly the attributes :meth:`HeraclesController.for_sim`
+    and the baseline controller factories consume — ``lc``, ``be``,
+    ``actuators``, ``counters``, ``latency_monitor``, ``be_monitor``,
+    ``history``, ``rng`` — so any controller written against
+    :class:`~repro.sim.engine.ColocationSim` attaches unchanged.
+    """
+
+    def __init__(self, batch: "BatchColocationSim", index: int,
+                 lc: LatencyCriticalWorkload, trace: LoadTrace,
+                 be: Optional[BestEffortWorkload], seed: int,
+                 min_lc_cores: int):
+        self.batch = batch
+        self.index = index
+        self.lc = lc
+        self.be = be
+        self.trace = trace
+        self.server = Server(batch.spec)
+        self.server.cat = {
+            s: _PassiveCat(batch.spec.socket.llc_mb,
+                           batch.spec.socket.llc_ways)
+            for s in range(batch.spec.sockets)
+        }
+        self.counters = BatchCounterView(batch, index, self.server)
+        self.actuators = Actuators(self.server, min_lc_cores=min_lc_cores)
+        self.latency_monitor = LatencyMonitor()
+        self.rng = np.random.default_rng(seed)
+        self.history = SimHistory()
+        self.controller: Optional[Controller] = None
+        if be is not None:
+            reference = reference_throughput_units(be)
+            self.be_monitor: Optional[ThroughputMonitor] = ThroughputMonitor(
+                reference)
+        else:
+            self.be_monitor = None
+
+    @property
+    def time_s(self) -> float:
+        return self.batch.time_s
+
+    @property
+    def spec(self) -> MachineSpec:
+        return self.batch.spec
+
+    def attach_controller(self, controller: Controller) -> None:
+        self.controller = controller
+
+    @property
+    def last_tail_ms(self) -> float:
+        return float(self.batch._tick["tail_ms"][self.index])
+
+    @property
+    def last_emu(self) -> float:
+        return float(self.batch._tick["emu"][self.index])
+
+
+@dataclass
+class BatchTickResult:
+    """Per-tick observables for every member, as arrays of shape (N,)."""
+
+    t_s: float
+    load: np.ndarray
+    tail_latency_ms: np.ndarray
+    slo_fraction: np.ndarray
+    be_throughput_norm: np.ndarray
+    emu: np.ndarray
+    be_running: np.ndarray
+
+
+@dataclass
+class BatchHistory:
+    """Column-oriented record of a whole batched run.
+
+    Rows are ticks, columns are members; kept as per-tick arrays so the
+    cluster and sweep layers can aggregate without materializing one
+    ``TickRecord`` object per (tick, server).
+    """
+
+    t_s: List[float] = field(default_factory=list)
+    columns: Dict[str, List[np.ndarray]] = field(default_factory=dict)
+
+    _FIELDS = ("load", "tail_latency_ms", "slo_fraction",
+               "be_throughput_norm", "emu")
+
+    def append(self, result: BatchTickResult) -> None:
+        self.t_s.append(result.t_s)
+        for name in self._FIELDS:
+            self.columns.setdefault(name, []).append(getattr(result, name))
+
+    def column(self, name: str) -> np.ndarray:
+        """(T, N) array of one observable across the whole run."""
+        return np.stack(self.columns[name]) if self.columns.get(name) \
+            else np.zeros((0, 0))
+
+    def times(self) -> np.ndarray:
+        return np.array(self.t_s, dtype=float)
+
+    def __len__(self) -> int:
+        return len(self.t_s)
+
+
+def _as_list(value, n: int, what: str) -> list:
+    """Broadcast a scalar-or-sequence argument to a list of length n."""
+    if isinstance(value, (list, tuple)):
+        if len(value) != n:
+            raise ValueError(f"{what}: expected {n} entries, got {len(value)}")
+        return list(value)
+    return [value] * n
+
+
+class BatchColocationSim:
+    """N servers, each one LC workload + one optional BE task group.
+
+    Args:
+        lc: one shared LC workload instance, or a sequence of N (all
+            built against the same :class:`MachineSpec` — the batch is
+            homogeneous in hardware, not necessarily in workload).
+        trace: one shared load trace or a sequence of N.
+        bes: None (no BE anywhere), one shared BE workload, or a
+            sequence of N entries each ``BestEffortWorkload`` or None.
+        spec: machine spec (defaults to the LC workload's).
+        seeds: per-server tail-noise seeds (defaults to 0..N-1).
+        n: batch size; inferred from the longest sequence argument
+            when omitted.
+        record_history: keep a per-member :class:`SimHistory` of full
+            :class:`TickRecord` objects (the scalar engine's format).
+            Disable for large fleets — the compact :class:`BatchHistory`
+            columns are always recorded.
+    """
+
+    def __init__(self,
+                 lc: Union[LatencyCriticalWorkload,
+                           Sequence[LatencyCriticalWorkload]],
+                 trace: Union[LoadTrace, Sequence[LoadTrace]],
+                 bes: Union[None, BestEffortWorkload,
+                            Sequence[Optional[BestEffortWorkload]]] = None,
+                 spec: Optional[MachineSpec] = None,
+                 seeds: Optional[Sequence[int]] = None,
+                 n: Optional[int] = None,
+                 min_lc_cores: int = 1,
+                 record_history: bool = True):
+        if seeds is not None:
+            seeds = list(seeds)
+        if n is None:
+            n = 1
+            for value in (lc, trace, bes, seeds):
+                if isinstance(value, (list, tuple)):
+                    n = max(n, len(value))
+        self.n = n
+        lcs = _as_list(lc, n, "lc")
+        traces = _as_list(trace, n, "trace")
+        be_list = _as_list(bes, n, "bes") if bes is not None else [None] * n
+        seed_list = list(seeds) if seeds is not None else list(range(n))
+        if len(seed_list) != n:
+            raise ValueError(f"seeds: expected {n} entries")
+
+        self.spec = spec or lcs[0].spec
+        self.spec.validate()
+        for w in lcs:
+            if w.spec.total_cores != self.spec.total_cores:
+                raise ValueError("batch members must share one hardware spec")
+        self.record_history = record_history
+        self.time_s = 0.0
+        self.history = BatchHistory()
+
+        self.members: List[BatchMember] = [
+            BatchMember(self, i, lcs[i], traces[i], be_list[i],
+                        seed_list[i], min_lc_cores)
+            for i in range(n)
+        ]
+
+        self._shared_trace = traces[0] if all(
+            t is traces[0] for t in traces) else None
+        self._build_static_arrays(lcs, be_list)
+
+        # Mutable telemetry state (RAPL-style smoothed power).
+        S = self.spec.sockets
+        self._rapl_watts = np.zeros((n, S))
+        self._rapl_started = False
+        self._rapl_smoothing = 0.5
+        # Tail-noise bookkeeping (a no-draw member keeps factor 1.0).
+        self._noise_sigmas = [float(x) for x in self._lc["noise_sigma"]]
+        self._any_noise = any(s > 0 for s in self._noise_sigmas)
+        self._noise_draws = np.ones(n)
+        self._lc_net_list = [0.0] * n
+        self._tick: Dict[str, np.ndarray] = self._empty_tick()
+
+    # ------------------------------------------------------------------
+    # Static per-member parameter arrays
+    # ------------------------------------------------------------------
+
+    def _build_static_arrays(self, lcs, bes) -> None:
+        def arr(fn, dtype=float):
+            return np.array([fn(w) for w in lcs], dtype=dtype)
+
+        p = lambda w: w.profile
+        s = lambda w: w.profile.sensitivity
+        self._lc = {
+            "peak_qps": arr(lambda w: w.peak_qps),
+            "base_service_ms": arr(lambda w: w.base_service_ms),
+            "slo_ms": arr(lambda w: p(w).slo_latency_ms),
+            "percentile": arr(lambda w: p(w).slo_percentile),
+            "tail_mult": arr(lambda w: p(w).service_tail_mult),
+            "pool_size": arr(lambda w: p(w).pool_size or 0, dtype=np.int64),
+            "noise_sigma": arr(lambda w: p(w).noise_sigma),
+            "compute_activity": arr(lambda w: p(w).compute_activity),
+            "dram_peak_gbps": arr(lambda w: w._dram_peak_gbps),
+            "dram_exponent": arr(lambda w: p(w).dram_load_exponent),
+            "uncached_share": arr(lambda w: w._uncached_share),
+            "baseline_hit": arr(lambda w: w._baseline_hit),
+            "hot_mb": arr(lambda w: p(w).hot_mb),
+            "bulk_peak_mb": arr(lambda w: p(w).bulk_mb_at_peak),
+            "bulk_reuse": arr(lambda w: p(w).bulk_reuse),
+            "hot_frac": arr(lambda w: p(w).hot_access_fraction),
+            "net_frac": arr(lambda w: p(w).net_frac_at_peak),
+            "net_flows": arr(lambda w: p(w).net_flows),
+            "freq_exp": arr(lambda w: s(w).freq_exponent),
+            "hot_w": arr(lambda w: s(w).hot_miss_weight),
+            "bulk_w": arr(lambda w: s(w).bulk_miss_weight),
+            "mem_frac": arr(lambda w: s(w).mem_time_fraction),
+            "net_gain": arr(lambda w: s(w).net_tail_gain),
+        }
+
+        # Static derived quantities, precomputed once so the tick loop
+        # spends no dispatches on run-constant arithmetic.  Each matches
+        # the subexpression the scalar code evaluates per call.
+        self._lc["cached_share"] = 1.0 - self._lc["uncached_share"]
+        self._lc["miss_frac"] = np.maximum(1e-3,
+                                           1.0 - self._lc["baseline_hit"])
+        self._lc["net_peak"] = self._lc["net_frac"] * self.spec.nic.link_gbps
+        self._lc["tail_mass"] = 1.0 - self._lc["percentile"]
+        # Queueing pool structure depends only on the integer core count:
+        # table[i, servers] is servers_per_pool for member i.
+        total = self.spec.total_cores
+        table = np.ones((len(lcs), total + 1), dtype=np.int64)
+        for i, w in enumerate(lcs):
+            ps = w.profile.pool_size
+            for servers in range(1, total + 1):
+                pools = max(1, round(servers / ps)) if ps else 1
+                table[i, servers] = max(1, round(servers / pools))
+        self._k_table = table
+        self._member_index = np.arange(len(lcs))
+
+        def barr(fn, default=0.0):
+            return np.array([fn(w.profile) if w is not None else default
+                             for w in bes], dtype=float)
+
+        self._has_be = np.array([w is not None for w in bes], dtype=bool)
+        self._be = {
+            # min(3, activity * power_weight) — the scalar demand() value.
+            "activity": barr(lambda q: min(3.0, q.activity * q.power_weight)),
+            "hot_mb": barr(lambda q: q.hot_mb),
+            "bulk_mb": barr(lambda q: q.bulk_mb),
+            "bulk_reuse": barr(lambda q: q.bulk_reuse, 1.0),
+            "access_per_core": barr(lambda q: q.access_gbps_per_core),
+            "hot_frac": barr(lambda q: q.hot_access_fraction),
+            "uncached_per_core": barr(lambda q: q.uncached_dram_gbps_per_core),
+            "net_demand": barr(lambda q: q.net_demand_gbps),
+            "net_flows": barr(lambda q: q.net_flows, 1.0),
+            "mem_bound": barr(lambda q: q.mem_bound_fraction),
+            "cache_benefit": barr(lambda q: q.cache_benefit),
+        }
+        # Concatenated LC+BE statics for the stacked cache resolution.
+        self._hot_frac_cat = np.concatenate([self._lc["hot_frac"],
+                                             self._be["hot_frac"]])
+        self._bulk_reuse_cat = np.concatenate([self._lc["bulk_reuse"],
+                                               self._be["bulk_reuse"]])
+
+    def _empty_tick(self) -> Dict[str, np.ndarray]:
+        n, zeros = self.n, np.zeros(self.n)
+        return {
+            "load": zeros.copy(), "tail_ms": zeros.copy(),
+            "slo_fraction": zeros.copy(), "be_norm": zeros.copy(),
+            "emu": zeros.copy(),
+            "be_running": np.zeros(n, dtype=bool),
+            "lc_freq_ghz": zeros.copy(), "be_freq_ghz": zeros.copy(),
+            "lc_dram_ach": zeros.copy(), "be_dram_ach": zeros.copy(),
+            "lc_net_ach": zeros.copy(), "be_net_ach": zeros.copy(),
+            "dram_total_gbps": zeros.copy(), "dram_max_util": zeros.copy(),
+            "worst_socket_dram_gbps": zeros.copy(),
+            "link_tx_gbps": zeros.copy(), "cpu_utilization": zeros.copy(),
+        }
+
+    # ------------------------------------------------------------------
+    # The vectorized tick
+    # ------------------------------------------------------------------
+
+    def tick(self, dt_s: float = 1.0) -> BatchTickResult:
+        """Advance all members by one interval (vectorized physics)."""
+        if dt_s <= 0:
+            raise ValueError("dt must be positive")
+        n, S = self.n, self.spec.sockets
+        spec = self.spec
+        socket = spec.socket
+
+        # -- 1. Offered load ------------------------------------------------
+        if self._shared_trace is not None:
+            load = np.full(n, self._shared_trace.clipped(self.time_s))
+        else:
+            load = np.array([m.trace.clipped(self.time_s)
+                             for m in self.members])
+
+        # -- 2. Gather placement state from the actuators -------------------
+        be_eff = np.empty(n, dtype=np.int64)       # property view (0 if off)
+        lc_ways = np.empty(n, dtype=np.int64)      # raw CAT split
+        be_ways = np.empty(n, dtype=np.int64)
+        be_enabled = np.empty(n, dtype=bool)
+        dvfs_cap = np.empty(n)
+        throttle = np.empty(n)
+        be_ceil = np.empty(n)
+        for i, m in enumerate(self.members):
+            a = m.actuators
+            be_enabled[i] = a._be_enabled
+            be_eff[i] = a._be_cores if a._be_enabled else 0
+            lc_ways[i] = a._lc_ways
+            be_ways[i] = a._be_ways
+            cap = a._be_dvfs_cap
+            dvfs_cap[i] = np.inf if cap is None else cap
+            throttle[i] = a._be_dram_throttle
+            ceil = a.htb.ceil_of(BE_COS)
+            be_ceil[i] = np.inf if ceil is None else ceil
+
+        be_running = self._has_be & be_enabled & (be_eff > 0)
+
+        # Per-socket core splits (the actuators' round-robin policy).
+        srange = np.arange(S, dtype=np.int64)
+        be_s = (be_eff[:, None] // S
+                + (srange[None, :] < (be_eff[:, None] % S)))
+        lc_s = socket.cores - be_s
+        lc_total = np.int64(spec.total_cores) - be_eff
+        be_total = np.where(be_running, be_eff, 0)
+        be_s = np.where(be_running[:, None], be_s, 0)
+
+        # -- 3. Workload demands -------------------------------------------
+        L = self._lc
+        rho_lc = np.minimum(
+            1.0, ((load * L["peak_qps"]) * L["base_service_ms"]
+                  / 1000.0) / lc_total)
+        act_lc = L["compute_activity"] * rho_lc
+        dram_target = L["dram_peak_gbps"] * load ** L["dram_exponent"]
+        uncached_lc = L["uncached_share"] * dram_target
+        access_lc = (L["cached_share"] * dram_target) / L["miss_frac"]
+        bulk_lc = L["bulk_peak_mb"] * load
+        net_lc = L["net_peak"] * load
+
+        # Per-socket splits, matching the two scalar helpers' operation
+        # order: cache_demand_for normalizes the weight first
+        # (w = cores/total), split_across_sockets divides last.
+        lc_mask_s = lc_s > 0
+        w_lc = np.where(lc_mask_s, lc_s / lc_total[:, None], 0.0)
+        hot_lc_s = L["hot_mb"][:, None] * w_lc
+        bulk_lc_s = bulk_lc[:, None] * w_lc
+        access_lc_s = access_lc[:, None] * w_lc
+        uncached_lc_s = np.where(
+            lc_mask_s,
+            (uncached_lc[:, None] * lc_s) / lc_total[:, None], 0.0)
+
+        B = self._be
+        be_mask_s = be_s > 0
+        safe_be_total = np.where(be_total > 0, be_total, 1)
+        w_be = np.where(be_mask_s, be_s / safe_be_total[:, None], 0.0)
+        hot_be_s = B["hot_mb"][:, None] * w_be
+        bulk_be_s = B["bulk_mb"][:, None] * w_be
+        access_be = B["access_per_core"] * be_total
+        access_be_s = access_be[:, None] * w_be
+        uncached_be = B["uncached_per_core"] * be_total
+        uncached_be_s = np.where(
+            be_mask_s,
+            (uncached_be[:, None] * be_s) / safe_be_total[:, None], 0.0)
+        act_be = B["activity"]
+        net_be = np.where(be_running, B["net_demand"], 0.0)
+
+        # -- 4. Power / frequency equilibrium -------------------------------
+        lc_freq_s, be_freq_s, power_s = self._resolve_power(
+            lc_s, act_lc, be_s, act_be, be_running, dvfs_cap)
+        # RAPL metering (exponentially smoothed, as the real counters).
+        a = self._rapl_smoothing
+        if self._rapl_started:
+            self._rapl_watts = a * power_s + (1 - a) * self._rapl_watts
+        else:
+            self._rapl_watts = power_s.copy()
+            self._rapl_started = True
+        # Core-weighted achieved frequency per task.
+        lc_freq = _weighted_freq(lc_freq_s, lc_s)
+        be_freq = _weighted_freq(be_freq_s, be_s)
+
+        # -- 5. LLC occupancy within each CAT partition ---------------------
+        # LC and BE resolve in separate partitions with identical math,
+        # so both stacks go through one vectorized resolution.
+        mb_per_way = socket.llc_mb / socket.llc_ways
+        hit2, hot_cov2, bulk_cov2, miss2 = _resolve_partition(
+            np.concatenate([lc_ways * mb_per_way, be_ways * mb_per_way]),
+            np.concatenate([lc_mask_s, be_mask_s]),
+            np.concatenate([hot_lc_s, hot_be_s]),
+            np.concatenate([bulk_lc_s, bulk_be_s]),
+            np.concatenate([access_lc_s, access_be_s]),
+            self._hot_frac_cat, self._bulk_reuse_cat)
+        lc_hit, be_hit = hit2[:n], hit2[n:]
+        lc_hot_cov, lc_bulk_cov = hot_cov2[:n], bulk_cov2[:n]
+        be_hot_cov, be_bulk_cov = hot_cov2[n:], bulk_cov2[n:]
+        lc_miss_s, be_miss_s = miss2[:n], miss2[n:]
+
+        # -- 6. DRAM channels ----------------------------------------------
+        dram = self._resolve_memory(
+            lc_s, be_s, uncached_lc_s, lc_miss_s, uncached_be_s, be_miss_s,
+            throttle, be_running)
+
+        # -- 7. Egress link -------------------------------------------------
+        net = self._resolve_network(
+            net_lc, L["net_flows"], net_be, B["net_flows"], be_ceil,
+            be_running)
+
+        # -- 8. LC tail latency --------------------------------------------
+        nominal = socket.turbo.nominal_ghz
+        freq_factor = (nominal / lc_freq) ** L["freq_exp"]
+        hot_loss = 1.0 - lc_hot_cov
+        cache_factor = (1.0
+                        + L["hot_w"] * hot_loss * (0.3 + 0.7 * hot_loss)
+                        + L["bulk_w"] * (1.0 - lc_bulk_cov))
+        mem_factor = 1.0 + L["mem_frac"] * (dram["lc_delay"] - 1.0)
+        # Heracles pins LC and BE to disjoint physical cores, so the
+        # HyperThread share is identically zero on this path (factor 1).
+        inflation = freq_factor * cache_factor * mem_factor * 1.0
+        service_ms = L["base_service_ms"] * inflation
+        qps = load * L["peak_qps"]
+        k_pool = self._k_table[self._member_index, lc_total]
+        tail = _queue_tail_ms(lc_total, service_ms, qps, L["tail_mult"],
+                              L["tail_mass"], k_pool)
+        lc_sat = np.where(net_lc > 0,
+                          np.minimum(1.0, net["lc_ach"] / np.where(
+                              net_lc > 0, net_lc, 1.0)), 1.0)
+        tail = tail * _net_latency_factor(net_lc, lc_sat, L["net_gain"])
+
+        # Per-member seeded noise streams, drawn in member order so the
+        # sequence matches the scalar engine's single-server draws.
+        if self._any_noise:
+            draws = self._noise_draws
+            for i, sigma in enumerate(self._noise_sigmas):
+                if sigma > 0:
+                    draws[i] = self.members[i].rng.lognormal(mean=0.0,
+                                                             sigma=sigma)
+            tail = tail * draws
+        slo_fraction = tail / L["slo_ms"]
+
+        # -- 9. BE throughput ----------------------------------------------
+        freq_scale = be_freq / nominal
+        mem_sat = np.where(dram["be_dem"] > 1e-9,
+                           np.minimum(1.0, dram["be_ach"] / np.where(
+                               dram["be_dem"] > 1e-9, dram["be_dem"], 1.0)),
+                           1.0)
+        mem_scale = (1.0 - B["mem_bound"]) + B["mem_bound"] * mem_sat
+        cache_scale = 1.0 + B["cache_benefit"] * (be_hit - 1.0)
+        eff = np.maximum(1e-3, freq_scale * mem_scale * cache_scale * 1.0)
+        be_sat = np.where(net_be > 0,
+                          np.minimum(1.0, net["be_ach"] / np.where(
+                              net_be > 0, net_be, 1.0)), 1.0)
+        eff = np.where(B["net_demand"] > 0, eff * be_sat, eff)
+        be_units = np.where(be_running, be_total * eff, 0.0)
+
+        # -- 10. Telemetry / counters ---------------------------------------
+        cores_in_use = lc_total + np.where(be_running, be_total, 0)
+        self._tick = {
+            "load": load, "tail_ms": tail, "slo_fraction": slo_fraction,
+            "be_running": be_running,
+            "lc_freq_ghz": lc_freq, "be_freq_ghz": be_freq,
+            "lc_dram_ach": dram["lc_ach"], "be_dram_ach": dram["be_ach"],
+            "lc_net_ach": net["lc_ach"], "be_net_ach": net["be_ach"],
+            "dram_total_gbps": dram["total_gbps"],
+            "dram_max_util": dram["max_util"],
+            "worst_socket_dram_gbps": dram["worst_socket_gbps"],
+            "link_tx_gbps": net["total_ach"],
+            "cpu_utilization": (np.minimum(cores_in_use, spec.total_cores)
+                                / spec.total_cores),
+            "be_norm": np.zeros(n), "emu": np.zeros(n),
+        }
+        self._lc_net_list = net["lc_ach"].tolist()
+        power_fraction = power_s.sum(axis=1) / (socket.tdp_watts * S)
+        link_util = np.minimum(1.0, net["total_ach"] / spec.nic.link_gbps)
+
+        # -- 11. Member bookkeeping: monitors, history, controllers ---------
+        be_norm = np.zeros(n)
+        for i, m in enumerate(self.members):
+            t = self.time_s
+            m.latency_monitor.record(t, float(tail[i]), float(load[i]))
+            if be_running[i]:
+                m.be_monitor.record(float(be_units[i]) * dt_s, dt_s)
+                be_norm[i] = m.be_monitor.last_normalized
+        emu = load + be_norm
+        self._tick["be_norm"] = be_norm
+        self._tick["emu"] = emu
+
+        result = BatchTickResult(
+            t_s=self.time_s, load=load, tail_latency_ms=tail,
+            slo_fraction=slo_fraction, be_throughput_norm=be_norm,
+            emu=emu, be_running=be_running)
+        self.history.append(result)
+
+        if self.record_history:
+            for i, m in enumerate(self.members):
+                a = m.actuators
+                m.history.append(TickRecord(
+                    t_s=self.time_s,
+                    load=float(load[i]),
+                    tail_latency_ms=float(tail[i]),
+                    slo_fraction=float(slo_fraction[i]),
+                    be_throughput_norm=float(be_norm[i]),
+                    be_cores=a.be_cores,
+                    be_llc_ways=a.be_llc_ways,
+                    be_dvfs_cap_ghz=a.be_dvfs_cap_ghz,
+                    be_net_ceil_gbps=a.be_net_ceil_gbps,
+                    be_enabled=a.be_enabled,
+                    emu=float(emu[i]),
+                    dram_bw_gbps=float(dram["total_gbps"][i]),
+                    dram_utilization=float(dram["max_util"][i]),
+                    cpu_utilization=float(self._tick["cpu_utilization"][i]),
+                    power_fraction_of_tdp=float(power_fraction[i]),
+                    lc_net_gbps=float(net["lc_ach"][i]),
+                    be_net_gbps=float(net["be_ach"][i]) if be_running[i]
+                    else 0.0,
+                    link_utilization=float(link_util[i]),
+                ))
+
+        for m in self.members:
+            if m.controller is not None:
+                m.controller.step(self.time_s)
+
+        self.time_s += dt_s
+        return result
+
+    def run(self, duration_s: float, dt_s: float = 1.0) -> BatchHistory:
+        """Run all members for ``duration_s`` simulated seconds."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        steps = int(round(duration_s / dt_s))
+        for _ in range(steps):
+            self.tick(dt_s)
+        return self.history
+
+    # ------------------------------------------------------------------
+    # Physics stages
+    # ------------------------------------------------------------------
+
+    #: Grid resolution of the scalar power bisection: 40 halvings of
+    #: [0, 1] land every lo/hi bound on an exact multiple of 2**-40
+    #: (dyadic rationals are exact doubles), so the bisection's result
+    #: is *characterized* — not approximated — as the largest grid
+    #: point whose power check passes.
+    _BISECT_SCALE = 2.0 ** 40
+
+    def _resolve_power(self, lc_s, act_lc, be_s, act_be, be_running,
+                       dvfs_cap):
+        """Per-socket frequency/power equilibrium, (N, S) vectorized.
+
+        Mirrors :meth:`SocketPowerModel.resolve`: turbo ceiling from the
+        active-core count, per-task DVFS targets, and — when the socket
+        would exceed TDP — the same frequency-scale clamp the scalar
+        model finds by 40-step bisection.
+
+        The clamp is computed without the 40 vectorized iterations: the
+        scalar bisection's bounds always sit on the exact 2**-40 dyadic
+        grid, so its outcome equals the largest grid point ``k/2**40``
+        whose recomputed power does not exceed TDP.  We locate ``k``
+        with an analytic piecewise-cubic root estimate and confirm it
+        with a handful of exact grid probes (the probes evaluate the
+        *same* expression, in the same operation order, as the scalar
+        loop); any socket the probes cannot pin down — possible only if
+        libm rounding makes power locally non-monotone — falls back to
+        the literal 40-iteration bisection.
+        """
+        socket = self.spec.socket
+        turbo = socket.turbo
+        nominal = turbo.nominal_ghz
+        floor = turbo.min_ghz
+        span = turbo.max_turbo_ghz - turbo.all_core_turbo_ghz
+        k = socket.core_dynamic_watts
+        tdp = socket.tdp_watts
+        idle = socket.idle_watts
+
+        lc_present = lc_s > 0
+        be_present = (be_s > 0) & be_running[:, None]
+        active = (np.where(lc_present & (act_lc[:, None] > 0), lc_s, 0)
+                  + np.where(be_present & (act_be[:, None] > 0), be_s, 0))
+        if socket.cores > 1:
+            fraction = np.clip((active - 1) / (socket.cores - 1), 0.0, 1.0)
+        else:
+            fraction = np.zeros(active.shape)
+        ceiling = np.where(active <= 0, turbo.max_turbo_ghz,
+                           turbo.max_turbo_ghz - span * fraction)
+        t_lc = np.maximum(floor, ceiling)
+        t_be = np.maximum(floor, np.minimum(dvfs_cap[:, None], ceiling))
+
+        coef_lc = np.where(lc_present, (lc_s * act_lc[:, None]) * k, 0.0)
+        coef_be = np.where(be_present, (be_s * act_be[:, None]) * k, 0.0)
+
+        power = idle + (coef_lc * (t_lc / nominal) ** 3
+                        + coef_be * (t_be / nominal) ** 3)
+        throttled = power > tdp
+        f_lc, f_be = t_lc, t_be
+        if throttled.any():
+            idx = np.nonzero(throttled)
+            T = np.stack([t_lc[idx], t_be[idx]])    # (2, M)
+            C = np.stack([coef_lc[idx], coef_be[idx]])
+            lo = self._throttle_scale(T, C, idle, tdp, nominal, floor)
+            f_thr = np.maximum(floor, T * lo)
+            p_thr = idle + (C[0] * (f_thr[0] / nominal) ** 3
+                            + C[1] * (f_thr[1] / nominal) ** 3)
+            f_lc = t_lc.copy()
+            f_be = t_be.copy()
+            power = power.copy()
+            f_lc[idx] = f_thr[0]
+            f_be[idx] = f_thr[1]
+            power[idx] = p_thr
+        return (np.where(lc_present, f_lc, 0.0),
+                np.where(be_present, f_be, 0.0),
+                power)
+
+    def _throttle_scale(self, T, C, idle, tdp, nominal, floor):
+        """Frequency scale factor ``lo`` for TDP-throttled sockets.
+
+        Args:
+            T: (2, M) per-task target frequencies of the throttled
+               sockets (LC row 0, BE row 1).
+            C: (2, M) matching dynamic-power coefficients
+               (``cores * activity * core_dynamic_watts``).
+
+        Returns the exact value the scalar bisection produces.
+        """
+        scale = self._BISECT_SCALE
+        budget = tdp - idle
+        floor_cube = (floor / nominal) ** 3
+
+        def over_at(kk):
+            """The scalar loop's TDP check at grid point kk / 2**40."""
+            f = np.maximum(floor, T * (kk / scale))
+            p = idle + (C[0] * (f[0] / nominal) ** 3
+                        + C[1] * (f[1] / nominal) ** 3)
+            return p > tdp
+
+        # Analytic root estimate of idle + sum C*(max(floor, T*m)/nom)^3
+        # = tdp over its three clamp pieces (estimate only; exactness
+        # comes from the grid probes below).
+        R3 = C * (T / nominal) ** 3
+        mb = np.where(C > 0, floor / T, 0.0)   # per-task clamp threshold
+        m_hi = np.maximum(mb[0], mb[1])
+        m_lo = np.minimum(mb[0], mb[1])
+        with np.errstate(divide="ignore", invalid="ignore"):
+            r1 = np.cbrt(budget / (R3[0] + R3[1]))      # no task clamped
+            big0 = mb[0] >= mb[1]
+            const = np.where(big0, C[0], C[1]) * floor_cube
+            r2 = np.cbrt((budget - const)
+                         / np.where(big0, R3[1], R3[0]))  # one clamped
+        flat = (C[0] + C[1]) * floor_cube              # both clamped
+        m_est = np.where(
+            r1 >= m_hi, r1,
+            np.where(r2 >= m_lo, np.minimum(r2, m_hi),
+                     np.where(flat > budget, 0.0, m_lo)))
+        m_est = np.nan_to_num(m_est, nan=0.0, posinf=1.0, neginf=0.0)
+
+        k0 = np.clip(np.floor(np.clip(m_est, 0.0, 1.0) * scale),
+                     0.0, scale - 1.0)
+        # Probe the grid around the estimate; the answer is the k with
+        # over(k) false and over(k+1) true (flip point), or 0 when even
+        # a zero scale exceeds TDP.  The estimate is almost always
+        # exact, so the two extra probes run only when it is not.
+        p0 = over_at(k0)
+        p1 = over_at(k0 + 1.0)
+        kk = np.where(~p0 & p1, k0, -1.0)
+        kk = np.where((k0 == 0.0) & p0, 0.0, kk)
+        if (kk < 0).any():
+            pm1 = over_at(k0 - 1.0)
+            p2 = over_at(k0 + 2.0)
+            kk = np.where(kk < 0,
+                          np.where(~pm1 & p0, k0 - 1.0,
+                                   np.where(~p1 & p2, k0 + 1.0, -1.0)),
+                          kk)
+            unresolved = kk < 0
+            if unresolved.any():
+                kk = np.where(unresolved,
+                              self._bisect_scale_exact(T, C, idle, tdp,
+                                                       nominal, floor), kk)
+        return kk / scale
+
+    @staticmethod
+    def _bisect_scale_exact(T, C, idle, tdp, nominal, floor):
+        """The literal 40-iteration scalar bisection (fallback path)."""
+        m = T.shape[1]
+        lo = np.zeros(m)
+        hi = np.ones(m)
+        for _ in range(40):
+            mid = (lo + hi) / 2.0
+            f = np.maximum(floor, T * mid)
+            p = idle + (C[0] * (f[0] / nominal) ** 3
+                        + C[1] * (f[1] / nominal) ** 3)
+            over = p > tdp
+            hi = np.where(over, mid, hi)
+            lo = np.where(over, lo, mid)
+        return lo * BatchColocationSim._BISECT_SCALE
+
+    def _resolve_memory(self, lc_s, be_s, uncached_lc_s, lc_miss_s,
+                        uncached_be_s, be_miss_s, throttle, be_running):
+        """Per-socket DRAM sharing, saturation delay, and counters."""
+        cap = self.spec.socket.dram_bw_gbps
+        knee, gain = 0.88, 0.10  # MemoryController defaults
+
+        bw_lc = uncached_lc_s + lc_miss_s
+        bw_be = uncached_be_s + be_miss_s
+        inc_lc = (bw_lc > 0) | (lc_s > 0)
+        inc_be = ((bw_be > 0) | (be_s > 0)) & be_running[:, None]
+        dem_lc = np.where(inc_lc, bw_lc * 1.0, 0.0)
+        dem_be = np.where(inc_be, bw_be * throttle[:, None], 0.0)
+        total = dem_lc + dem_be
+        fits = total <= cap
+        scale = np.where(fits, 1.0, cap / np.where(fits, 1.0, total))
+        achieved_total = np.where(fits, total, cap)
+        util = np.minimum(1.0, achieved_total / cap)
+
+        rho = np.minimum(util, 0.995)
+        below = rho <= knee
+        excess = (rho - knee) / (1.0 - knee)
+        queueing = np.minimum(5.0, gain * excess / (1.0 - rho))
+        delay = np.where(below, 1.0 + 0.05 * (rho / knee), 1.05 + queueing)
+        oversub = np.maximum(0.0, total / cap - 1.0)
+        delay = delay + 6.0 * oversub
+
+        # Accumulate across sockets (offered demand is unthrottled; the
+        # delay factor is the per-task max).  Socket-axis sums add in
+        # socket order and excluded sockets contribute exact zeros, so
+        # this reproduces the scalar per-socket accumulation loop.
+        lc_dem = np.where(inc_lc, bw_lc, 0.0).sum(axis=1)
+        lc_ach = (dem_lc * scale).sum(axis=1)
+        lc_delay = np.maximum(1.0, np.where(inc_lc, delay, 1.0).max(axis=1))
+        be_dem = np.where(inc_be, bw_be, 0.0).sum(axis=1)
+        be_ach = (dem_be * scale).sum(axis=1)
+        be_delay = np.maximum(1.0, np.where(inc_be, delay, 1.0).max(axis=1))
+        return {
+            "lc_dem": lc_dem, "lc_ach": lc_ach, "lc_delay": lc_delay,
+            "be_dem": be_dem, "be_ach": be_ach, "be_delay": be_delay,
+            "total_gbps": achieved_total.sum(axis=1),
+            "max_util": util.max(axis=1),
+            "worst_socket_gbps": achieved_total.max(axis=1),
+        }
+
+    def _resolve_network(self, net_lc, flows_lc, net_be, flows_be, be_ceil,
+                         be_running):
+        """Weighted max-min egress sharing with per-class HTB ceilings.
+
+        A faithful vector transcription of :meth:`EgressLink.resolve`
+        for the two-flow case: flow counts are the weights, allocations
+        are capped at min(demand, ceil), leftover capacity redistributes
+        until the link is full or every active flow is satisfied.
+        """
+        link = self.spec.nic.link_gbps
+        lim_lc = net_lc  # the LC class is never ceiled
+        lim_be = np.where(be_running, np.minimum(net_be, be_ceil), 0.0)
+        present_be = be_running
+
+        alloc_lc = np.zeros(self.n)
+        alloc_be = np.zeros(self.n)
+        capacity = np.full(self.n, link)
+        a_lc = lim_lc > 0
+        a_be = present_be & (lim_be > 0)
+        live = np.ones(self.n, dtype=bool)
+        for _ in range(3):  # len(demands) + 1 rounds, as the scalar loop
+            live = live & (a_lc | a_be) & (capacity > 1e-12)
+            if not live.any():
+                break
+            wsum = np.where(live, flows_lc * a_lc + flows_be * a_be, 1.0)
+            g_lc = (capacity * flows_lc) / wsum
+            take_lc = np.where(live & a_lc,
+                               np.minimum(g_lc, lim_lc - alloc_lc), 0.0)
+            alloc_lc = alloc_lc + take_lc
+            g_be = (capacity * flows_be) / wsum
+            take_be = np.where(live & a_be,
+                               np.minimum(g_be, lim_be - alloc_be), 0.0)
+            alloc_be = alloc_be + take_be
+            spent = take_lc + take_be
+            capacity = np.where(live, capacity - spent, capacity)
+            a_lc = a_lc & ((lim_lc - alloc_lc) > 1e-12)
+            a_be = a_be & ((lim_be - alloc_be) > 1e-12)
+            live = live & (spent > 1e-12)
+        return {
+            "lc_ach": alloc_lc,
+            "be_ach": alloc_be,
+            "total_ach": alloc_lc + alloc_be,
+        }
+
+
+# ----------------------------------------------------------------------
+# Vectorized physics helpers
+# ----------------------------------------------------------------------
+
+
+def _weighted_freq(freq_s: np.ndarray, cores_s: np.ndarray) -> np.ndarray:
+    """Core-weighted mean frequency across sockets, in socket order."""
+    n = freq_s.shape[0]
+    acc = np.zeros(n)
+    cores = np.zeros(n)
+    for s in range(freq_s.shape[1]):
+        acc = acc + freq_s[:, s] * cores_s[:, s]
+        cores = cores + cores_s[:, s]
+    return np.where(cores > 0, acc / np.where(cores > 0, cores, 1), 0.0)
+
+
+def _resolve_partition(part_mb, mask_s, hot_s, bulk_s, access_s,
+                       hot_frac, bulk_reuse):
+    """Steady-state occupancy of one task alone in one CAT partition.
+
+    With a single resident task the scalar waterfill reduces to
+    ``occupancy = min(partition, footprint)``; coverage and hit fraction
+    follow :func:`repro.hardware.cache.resolve_occupancy` exactly.
+    Cross-socket merging replicates the scalar engine's sequential
+    rule: first socket sets the values, later sockets average coverage
+    and sum occupancy.
+
+    Returns (hit, hot_cov, bulk_cov, miss_gbps_per_socket).
+    """
+    n, S = mask_s.shape
+    occ_s = np.minimum(part_mb[:, None], hot_s + bulk_s)
+    hot_cov_s = np.where(hot_s > 0,
+                         np.minimum(1.0, occ_s / np.where(hot_s > 0, hot_s,
+                                                          1.0)), 1.0)
+    left_s = np.maximum(0.0, occ_s - hot_s)
+    bulk_cov_s = np.where(bulk_s > 0,
+                          np.minimum(1.0, left_s / np.where(bulk_s > 0,
+                                                            bulk_s, 1.0)),
+                          1.0)
+    hit_s = np.minimum(1.0, hot_frac[:, None] * hot_cov_s
+                       + (1.0 - hot_frac[:, None]) * bulk_cov_s
+                       * bulk_reuse[:, None])
+    miss_s = np.where(mask_s, access_s * (1.0 - hit_s), 0.0)
+
+    hit = np.ones(n)
+    hot_cov = np.ones(n)
+    bulk_cov = np.ones(n)
+    seen = np.zeros(n, dtype=bool)
+    for s in range(S):
+        m = mask_s[:, s]
+        first = m & ~seen
+        again = m & seen
+        hit = np.where(first, hit_s[:, s],
+                       np.where(again, (hit + hit_s[:, s]) / 2, hit))
+        hot_cov = np.where(first, hot_cov_s[:, s],
+                           np.where(again, (hot_cov + hot_cov_s[:, s]) / 2,
+                                    hot_cov))
+        bulk_cov = np.where(first, bulk_cov_s[:, s],
+                            np.where(again,
+                                     (bulk_cov + bulk_cov_s[:, s]) / 2,
+                                     bulk_cov))
+        seen = seen | m
+    return hit, hot_cov, bulk_cov, miss_s
+
+
+def _queue_tail_ms(servers, service_ms, qps, tail_mult, tail_mass, k):
+    """Vectorized :meth:`QueueModel.tail_latency_ms` (M/M/k + pools).
+
+    ``k`` is the per-pool server count (precomputed from the integer
+    core count, see ``_k_table``).  The Erlang-B recurrence runs to the
+    largest ``k`` in the batch, masked per element, reproducing the
+    scalar iteration.
+    """
+    rho = (qps * (service_ms / 1000.0)) / servers
+    service_tail = tail_mult * service_ms
+
+    stable = np.minimum(rho, 0.995)
+    offered = stable * k
+    # Erlang-B recurrence, then Erlang-C.
+    b = np.ones_like(offered)
+    for i in range(1, int(k.max()) + 1):
+        t = offered * b
+        b = np.where(i <= k, t / (i + t), b)
+    rho_e = offered / k
+    c = b / ((1.0 - rho_e) + rho_e * b)
+    p_wait = np.where(offered == 0, 0.0,
+                      np.minimum(1.0, np.maximum(0.0, c)))
+    log_arg = np.where(p_wait > tail_mass, p_wait / tail_mass, 1.0)
+    wait = np.where(p_wait > tail_mass,
+                    service_ms / (k * (1.0 - stable)) * np.log(log_arg),
+                    0.0)
+    overload = np.where(rho > 0.995,
+                        service_ms * k * 40.0 * (rho - 0.995), 0.0)
+    return np.where(rho <= 0, service_tail, service_tail + wait + overload)
+
+
+def _net_latency_factor(net_demand, satisfaction, net_gain):
+    """Vectorized :func:`repro.perf.interference.network_latency_factor`."""
+    shortfall = 1.0 - satisfaction
+    ratio = 1.0 / np.maximum(1e-3, satisfaction)
+    factor = np.minimum(
+        1.0 + net_gain * (ratio - 1.0) + 25.0 * (ratio - 1.0) ** 2, 60.0)
+    return np.where((net_demand <= 0) | (shortfall <= 1e-9), 1.0, factor)

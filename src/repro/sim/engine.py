@@ -91,8 +91,22 @@ class SimHistory:
         vals = [r.slo_fraction for r in self.records if r.t_s >= skip_s]
         return max(vals) if vals else 0.0
 
+    def dt_s(self) -> float:
+        """Tick interval of the recorded run, derived from timestamps.
+
+        Records are appended once per engine tick, so the spacing of
+        consecutive timestamps *is* the tick size; falls back to 1 s
+        when the history is too short to tell.
+        """
+        if len(self.records) >= 2:
+            span = self.records[-1].t_s - self.records[0].t_s
+            if span > 0:
+                return span / (len(self.records) - 1)
+        return 1.0
+
     def worst_window_slo(self, window_s: float = 60.0,
-                         skip_s: float = 0.0) -> float:
+                         skip_s: float = 0.0,
+                         dt_s: Optional[float] = None) -> float:
         """Worst windowed SLO fraction — the paper's reporting metric.
 
         "Since the SLO is defined over 60-second windows, we report the
@@ -100,11 +114,20 @@ class SimHistory:
         tail over a window is estimated from all of that window's
         samples, so the per-window value is the mean of the per-tick
         tail estimates, and the figure reports the max across windows.
+
+        The window width in samples is derived from the actual tick
+        size (``window_s / dt_s``), so the metric stays a true
+        ``window_s``-second window for any tick size; ``dt_s`` may be
+        passed explicitly to override the derived spacing.
         """
         vals = [r.slo_fraction for r in self.records if r.t_s >= skip_s]
         if not vals:
             return 0.0
-        width = max(1, int(window_s))
+        if dt_s is None:
+            dt_s = self.dt_s()
+        if dt_s <= 0:
+            raise ValueError("dt must be positive")
+        width = max(1, int(round(window_s / dt_s)))
         if len(vals) < width:
             return float(np.mean(vals))
         series = np.array(vals, dtype=float)

@@ -37,7 +37,17 @@ class LatencyMonitor:
             self._samples.popleft()
 
     def _window(self, now_s: float, span_s: float):
-        return [s for s in self._samples if s[0] > now_s - span_s]
+        # Samples arrive in time order, so scan from the newest end and
+        # stop at the cutoff instead of filtering the whole deque (the
+        # deque holds the long SLO window; polls want a short suffix).
+        cutoff = now_s - span_s
+        out = []
+        for sample in reversed(self._samples):
+            if sample[0] <= cutoff:
+                break
+            out.append(sample)
+        out.reverse()
+        return out
 
     def poll_latency_ms(self, now_s: float) -> Optional[float]:
         """Tail latency over the control window (what PollLCAppLatency

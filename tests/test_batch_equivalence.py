@@ -1,0 +1,191 @@
+"""Batched-backend equivalence: BatchColocationSim(N=1) vs ColocationSim.
+
+The batch backend promises to be a numerical replica of the scalar
+engine, not an approximation: same formulas, same operation ordering,
+same per-server seeded noise streams.  These tests enforce the promise
+tick-for-tick across the three controller regimes the cluster and the
+figures exercise — managed (Heracles), static partitioning, and no BE
+at all — plus a mixed heterogeneous batch where every member must match
+its scalar twin simultaneously.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.static import conservative_static, optimistic_static
+from repro.core.controller import HeraclesController
+from repro.hardware.spec import default_machine_spec
+from repro.sim.batch import BatchColocationSim
+from repro.sim.engine import ColocationSim
+from repro.workloads.best_effort import make_be_workload
+from repro.workloads.latency_critical import make_lc_workload
+from repro.workloads.traces import ConstantLoad, DiurnalTrace
+
+FLOAT_FIELDS = (
+    "t_s", "load", "tail_latency_ms", "slo_fraction", "be_throughput_norm",
+    "emu", "dram_bw_gbps", "dram_utilization", "cpu_utilization",
+    "power_fraction_of_tdp", "lc_net_gbps", "be_net_gbps",
+    "link_utilization",
+)
+EXACT_FIELDS = ("be_cores", "be_llc_ways", "be_enabled", "be_dvfs_cap_ghz",
+                "be_net_ceil_gbps")
+
+
+def make_trace(seed=5):
+    """A wiggly trace that sweeps the controller through its regimes."""
+    return DiurnalTrace(low=0.15, high=0.90, period_s=600.0,
+                        noise_sigma=0.03, seed=seed)
+
+
+def assert_histories_match(scalar_history, batch_history, rtol=1e-9):
+    assert len(scalar_history) == len(batch_history)
+    for name in FLOAT_FIELDS:
+        a = scalar_history.column(name)
+        b = batch_history.column(name)
+        np.testing.assert_allclose(
+            a, b, rtol=rtol, atol=1e-12,
+            err_msg=f"TickRecord field {name!r} diverged")
+    for name in EXACT_FIELDS:
+        a = [getattr(r, name) for r in scalar_history.records]
+        b = [getattr(r, name) for r in batch_history.records]
+        assert a == b, f"TickRecord field {name!r} diverged"
+
+
+def scalar_run(lc_name, be_name, trace, seed, controller_factory,
+               duration_s):
+    spec = default_machine_spec()
+    lc = make_lc_workload(lc_name, spec)
+    be = make_be_workload(be_name, spec) if be_name else None
+    sim = ColocationSim(lc=lc, trace=trace, be=be, spec=spec, seed=seed)
+    if controller_factory is not None:
+        controller_factory(sim)
+    sim.run(duration_s)
+    return sim.history
+
+
+def batch_run(lc_name, be_name, trace, seed, controller_factory,
+              duration_s):
+    spec = default_machine_spec()
+    lc = make_lc_workload(lc_name, spec)
+    be = make_be_workload(be_name, spec) if be_name else None
+    batch = BatchColocationSim(lc=lc, trace=trace, bes=be, spec=spec,
+                               seeds=[seed])
+    if controller_factory is not None:
+        controller_factory(batch.members[0])
+    batch.run(duration_s)
+    return batch.members[0].history
+
+
+class TestSingleServerEquivalence:
+    DURATION = 420.0
+
+    def test_managed_heracles(self):
+        factory = HeraclesController.for_sim
+        a = scalar_run("websearch", "brain", make_trace(), 11, factory,
+                       self.DURATION)
+        b = batch_run("websearch", "brain", make_trace(), 11, factory,
+                      self.DURATION)
+        assert_histories_match(a, b)
+
+    def test_static_partitioning(self):
+        def factory(sim):
+            sim.attach_controller(optimistic_static(sim.actuators))
+
+        a = scalar_run("websearch", "streetview", make_trace(3), 4, factory,
+                       self.DURATION)
+        b = batch_run("websearch", "streetview", make_trace(3), 4, factory,
+                      self.DURATION)
+        assert_histories_match(a, b)
+
+    def test_conservative_static(self):
+        def factory(sim):
+            sim.attach_controller(conservative_static(sim.actuators))
+
+        a = scalar_run("ml_cluster", "stream-DRAM", make_trace(9), 2,
+                       factory, self.DURATION)
+        b = batch_run("ml_cluster", "stream-DRAM", make_trace(9), 2,
+                      factory, self.DURATION)
+        assert_histories_match(a, b)
+
+    def test_no_be(self):
+        a = scalar_run("websearch", None, make_trace(7), 5, None,
+                       self.DURATION)
+        b = batch_run("websearch", None, make_trace(7), 5, None,
+                      self.DURATION)
+        assert_histories_match(a, b)
+
+    def test_memkeyval_network_bound(self):
+        """iperf drives the egress max-min and net-latency paths."""
+        factory = HeraclesController.for_sim
+        a = scalar_run("memkeyval", "iperf", make_trace(13), 8, factory,
+                       self.DURATION)
+        b = batch_run("memkeyval", "iperf", make_trace(13), 8, factory,
+                      self.DURATION)
+        assert_histories_match(a, b)
+
+
+class TestHeterogeneousBatch:
+    def test_mixed_members_match_scalar_twins(self):
+        """brain + streetview + no-BE members in one batch, all exact."""
+        spec = default_machine_spec()
+        lc = make_lc_workload("websearch", spec)
+        trace = make_trace(21)
+        bes = [make_be_workload("brain", spec),
+               make_be_workload("streetview", spec),
+               None]
+        seeds = [31, 32, 33]
+        batch = BatchColocationSim(lc=lc, trace=trace, bes=bes, spec=spec,
+                                   seeds=seeds)
+        for member in batch.members[:2]:
+            HeraclesController.for_sim(member)
+        batch.run(240.0)
+
+        for i, (be, seed) in enumerate(zip(bes, seeds)):
+            sim = ColocationSim(lc=make_lc_workload("websearch", spec),
+                                trace=make_trace(21), be=be, spec=spec,
+                                seed=seed)
+            if be is not None:
+                HeraclesController.for_sim(sim)
+            sim.run(240.0)
+            assert_histories_match(sim.history, batch.members[i].history)
+
+    def test_batch_history_columns(self):
+        spec = default_machine_spec()
+        lc = make_lc_workload("websearch", spec)
+        batch = BatchColocationSim(lc=lc, trace=ConstantLoad(0.5),
+                                   bes=make_be_workload("brain", spec),
+                                   spec=spec, seeds=[1, 2])
+        batch.run(30.0)
+        col = batch.history.column("tail_latency_ms")
+        assert col.shape == (30, 2)
+        assert (col > 0).all()
+        assert len(batch.history.times()) == 30
+
+    def test_member_counter_view_tracks_resolution(self):
+        spec = default_machine_spec()
+        lc = make_lc_workload("websearch", spec)
+        batch = BatchColocationSim(lc=lc, trace=ConstantLoad(0.6),
+                                   bes=make_be_workload("brain", spec),
+                                   spec=spec, seeds=[0])
+        member = batch.members[0]
+        HeraclesController.for_sim(member)
+        batch.run(20.0)
+        record = member.history.last()
+        counters = member.counters
+        assert counters.dram_total_bw_gbps() == pytest.approx(
+            record.dram_bw_gbps)
+        assert counters.freq_of("websearch") > 0
+        assert counters.tx_gbps_of("websearch") == pytest.approx(
+            record.lc_net_gbps)
+        assert counters.link_rate_gbps() == spec.nic.link_gbps
+        assert 0 < counters.max_power_fraction_of_tdp() <= 1.5
+
+    def test_seed_validation_and_shapes(self):
+        spec = default_machine_spec()
+        lc = make_lc_workload("websearch", spec)
+        with pytest.raises(ValueError):
+            BatchColocationSim(lc=lc, trace=ConstantLoad(0.5),
+                               bes=[None, None], spec=spec, seeds=[1])
+        with pytest.raises(ValueError):
+            BatchColocationSim(lc=lc, trace=ConstantLoad(0.5),
+                               spec=spec).tick(0.0)

@@ -1,0 +1,175 @@
+"""Property-style state-machine tests for the top-level controller.
+
+Algorithm 1 is a small state machine over (latency slack, load); its
+safety properties must hold for *any* input sequence, not just the
+trajectories the simulator happens to produce.  We drive the controller
+with randomized latency/load streams — interleaved with random
+subcontroller-like core grants — and assert the invariants after every
+poll:
+
+* BE execution is never enabled while a post-violation cooldown is in
+  effect;
+* growth is never allowed when the controller's own slack reading is
+  below ``slack_no_growth``;
+* the slack-cut action never drops BE cores below ``be_cores_floor``
+  (and always lands exactly on the floor when it fires);
+* a negative-slack poll always disables BE and enters cooldown.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import HeraclesConfig
+from repro.core.state import ControlState
+from repro.core.top_level import TopLevelController
+from repro.hardware.server import Server
+from repro.hardware.spec import default_machine_spec
+from repro.sim.actuators import Actuators
+from repro.sim.monitors import LatencyMonitor
+
+SLO_MS = 20.0
+
+
+def make_controller(config=None):
+    config = config or HeraclesConfig()
+    server = Server(default_machine_spec())
+    actuators = Actuators(server)
+    monitor = LatencyMonitor()
+    state = ControlState()
+    controller = TopLevelController(config, state, actuators, monitor,
+                                    slo_target_ms=SLO_MS)
+    return controller, state, actuators, monitor
+
+
+def random_walk(rng, steps, poll_period_s):
+    """One randomized episode; yields (t, latency_ms, load) samples.
+
+    Latency wanders across the whole interesting range — deep in the
+    green band, inside the no-growth band, just under the SLO, and past
+    it — and load sweeps through both hysteresis thresholds.
+    """
+    latency = rng.uniform(0.3, 0.9) * SLO_MS
+    load = rng.uniform(0.2, 0.7)
+    for t in range(steps):
+        latency = float(np.clip(latency + rng.normal(0.0, 0.08) * SLO_MS,
+                                0.05 * SLO_MS, 1.6 * SLO_MS))
+        load = float(np.clip(load + rng.normal(0.0, 0.02), 0.0, 1.0))
+        yield float(t), latency, load
+
+
+@pytest.mark.parametrize("episode_seed", range(12))
+def test_top_level_invariants_hold_on_random_sequences(episode_seed):
+    rng = np.random.default_rng(1000 + episode_seed)
+    config = HeraclesConfig(cooldown_s=60.0)
+    controller, state, actuators, monitor = make_controller(config)
+
+    for t, latency, load in random_walk(rng, steps=600,
+                                        poll_period_s=config.poll_period_s):
+        monitor.record(t, latency, load)
+
+        # A "subcontroller" randomly grows BE between polls, so the
+        # controller faces arbitrary core counts when a cut fires.
+        if actuators.be_enabled and state.growth_allowed and rng.random() < 0.3:
+            for _ in range(rng.integers(1, 4)):
+                actuators.add_be_core()
+
+        due = controller.due(t)
+        polled_latency = monitor.poll_latency_ms(t)
+        polled_load = monitor.poll_load(t)
+        cores_before = actuators.be_cores
+        enabled_before = actuators.be_enabled
+
+        controller.step(t)
+
+        if not due or polled_latency is None or polled_load is None:
+            continue
+        slack = (SLO_MS - polled_latency) / SLO_MS
+
+        # Invariant: negative slack -> BE disabled, cooldown entered.
+        if slack < 0:
+            assert not actuators.be_enabled
+            assert state.in_cooldown(t + 1e-9)
+            assert not state.growth_allowed
+
+        # Invariant: BE never enabled during a cooldown.  (Only the
+        # top-level controller may enable BE.)
+        if state.in_cooldown(t) and not enabled_before:
+            assert not actuators.be_enabled
+
+        # Invariant: growth is never allowed with slack below the
+        # no-growth band (the controller's own digested reading).
+        if state.growth_allowed:
+            assert state.slack >= config.slack_no_growth
+
+        # Invariant: the slack cut lands exactly on the floor and
+        # never below it.
+        if (enabled_before and actuators.be_enabled
+                and actuators.be_cores < cores_before):
+            assert cores_before > config.be_cores_floor
+            assert actuators.be_cores == config.be_cores_floor
+
+        # Invariant: high load always disables BE.
+        if slack >= 0 and polled_load > config.load_disable_threshold:
+            assert not actuators.be_enabled
+
+
+def test_cooldown_blocks_reenable_until_expiry():
+    config = HeraclesConfig(cooldown_s=120.0, poll_period_s=15.0)
+    controller, state, actuators, monitor = make_controller(config)
+    # Healthy start: low load, low latency -> BE comes on.
+    monitor.record(0.0, 5.0, 0.5)
+    controller.step(0.0)
+    assert actuators.be_enabled
+    # Violation -> disable + cooldown.
+    monitor.record(15.0, 30.0, 0.5)
+    controller.step(15.0)
+    assert not actuators.be_enabled
+    assert state.in_cooldown(16.0)
+    # Healthy polls inside the cooldown must NOT re-enable.
+    t = 15.0
+    while t + 15.0 < 15.0 + 120.0:
+        t += 15.0
+        monitor.record(t, 5.0, 0.5)
+        controller.step(t)
+        assert not actuators.be_enabled, f"re-enabled at t={t} in cooldown"
+    # First healthy poll after expiry re-enables.
+    t = 15.0 + 120.0 + 15.0
+    monitor.record(t, 5.0, 0.5)
+    controller.step(t)
+    assert actuators.be_enabled
+
+
+def test_slack_cut_is_noop_at_or_below_floor():
+    config = HeraclesConfig()
+    controller, state, actuators, monitor = make_controller(config)
+    monitor.record(0.0, 5.0, 0.5)
+    controller.step(0.0)
+    assert actuators.be_enabled
+    actuators.set_be_cores(config.be_cores_floor)
+    # Slack inside (cut, no-growth): growth disallowed, no cut below floor.
+    latency = SLO_MS * (1.0 - 0.5 * config.slack_cut_cores)
+    monitor.record(15.0, latency, 0.5)
+    controller.step(15.0)
+    assert actuators.be_cores == config.be_cores_floor
+    assert not state.growth_allowed
+
+
+def test_load_hysteresis_band_keeps_be_state():
+    """Inside [enable, disable] the BE on/off state must not flap."""
+    config = HeraclesConfig()
+    controller, state, actuators, monitor = make_controller(config)
+    monitor.record(0.0, 5.0, 0.5)
+    controller.step(0.0)
+    assert actuators.be_enabled
+    mid_load = (config.load_enable_threshold
+                + config.load_disable_threshold) / 2.0
+    monitor.record(15.0, 5.0, mid_load)
+    controller.step(15.0)
+    assert actuators.be_enabled  # still on: did not cross disable
+    # Force off via high load, then mid-band load must not re-enable.
+    monitor.record(30.0, 5.0, 0.99)
+    controller.step(30.0)
+    assert not actuators.be_enabled
+    monitor.record(45.0, 5.0, mid_load)
+    controller.step(45.0)
+    assert not actuators.be_enabled
