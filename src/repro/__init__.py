@@ -26,17 +26,20 @@ from typing import Optional
 from .core import (HeraclesConfig, HeraclesController, LcDramBandwidthModel,
                    profile_lc_dram_model)
 from .hardware import MachineSpec, Server, default_machine_spec
+from .scenarios import (ScenarioSpec, compile_scenario, load_scenario,
+                        run_scenario)
 from .sim import (BatchColocationSim, ColocationSim, SimHistory,
                   memoized_dram_model, run_sweep)
 from .workloads import (ConstantLoad, LoadTrace, make_be_workload,
                         make_lc_workload)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "HeraclesConfig", "HeraclesController",
     "LcDramBandwidthModel", "profile_lc_dram_model",
     "MachineSpec", "Server", "default_machine_spec",
+    "ScenarioSpec", "compile_scenario", "load_scenario", "run_scenario",
     "BatchColocationSim", "ColocationSim", "SimHistory",
     "memoized_dram_model", "run_sweep",
     "ConstantLoad", "LoadTrace", "make_be_workload", "make_lc_workload",

@@ -1,13 +1,16 @@
-"""Command-line entry point: ``python -m repro.cli <experiment>``.
+"""Command-line entry point: ``python -m repro.cli <command>``.
 
-Runs any of the paper's experiments, a quickstart demo, or the whole
-suite, printing the same tables/series the paper's figures report.
+Runs any of the paper's experiments, a quickstart demo, the whole
+suite, or a declarative scenario (``scenario <name-or-file>``; see
+``docs/scenarios.md``), printing the same tables/series the paper's
+figures report.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from typing import Callable, Dict, List, Optional
 
 from .experiments import (fig1_interference, fig3_convexity,
@@ -25,11 +28,20 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "tco": tco_table.main,
 }
 
+#: Commands whose work fans out across the sweep runner; ``--jobs``
+#: only affects these (plus ``all``, which includes them).
+SWEEP_COMMANDS = frozenset({"fig4", "fig5", "fig6", "fig8", "all",
+                            "scenario"})
 
-def quickstart() -> None:
-    """The README demo: websearch + brain at 50% load."""
+
+def quickstart(seed: int = 42) -> None:
+    """The README demo: websearch + brain at 50% load.
+
+    Args:
+        seed: tail-noise RNG seed for the run.
+    """
     from . import HeraclesController, build_colocation
-    sim = build_colocation("websearch", "brain", load=0.50, seed=42)
+    sim = build_colocation("websearch", "brain", load=0.50, seed=seed)
     HeraclesController.for_sim(sim)
     history = sim.run(900)
     print(f"worst 60s tail: {history.worst_window_slo(skip_s=240):.0%} "
@@ -37,33 +49,116 @@ def quickstart() -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI parser (one subcommand per artefact)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction harness for 'Heracles: Improving "
                     "Resource Efficiency at Scale' (ISCA 2015).")
-    parser.add_argument(
-        "experiment",
-        choices=sorted(EXPERIMENTS) + ["quickstart", "all"],
+    sub = parser.add_subparsers(
+        dest="experiment", metavar="command", required=True,
         help="which artefact to regenerate (fig8 takes minutes; "
-             "'all' runs everything)")
-    parser.add_argument(
-        "-j", "--jobs", type=int, default=None, metavar="N",
-        help="worker processes for sweep fan-out (default: one per "
-             "CPU; 1 forces the serial path)")
+             "'all' runs everything; 'scenario' runs a declarative "
+             "spec)")
+
+    def add_jobs(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "-j", "--jobs", type=int, default=None, metavar="N",
+            help="worker processes for sweep fan-out (default: one per "
+                 "CPU; 1 forces the serial path)")
+
+    for name in sorted(EXPERIMENTS) + ["all"]:
+        add_jobs(sub.add_parser(name))
+
+    quick = sub.add_parser(
+        "quickstart", help="the README demo (websearch + brain)")
+    add_jobs(quick)
+    quick.add_argument("--seed", type=int, default=42,
+                       help="tail-noise RNG seed (default: 42)")
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="run a registered scenario or a .yaml/.json spec file",
+        description="Compile and run a declarative scenario "
+                    "(docs/scenarios.md documents the spec schema).")
+    scenario.add_argument(
+        "scenario", nargs="?", default=None, metavar="name-or-file",
+        help="a registered scenario name or a path to a spec file")
+    scenario.add_argument(
+        "--list", action="store_true", dest="list_scenarios",
+        help="list registered scenarios and exit")
+    add_jobs(scenario)
+    scenario.add_argument(
+        "--seed", type=int, default=None,
+        help="override the scenario's base seed")
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    if args.jobs is not None:
-        if args.jobs < 1:
-            raise SystemExit("--jobs must be >= 1")
-        import os
+def _apply_jobs(args: argparse.Namespace) -> None:
+    """Pin the sweep runner's worker count from ``--jobs``.
 
-        from .sim.runner import JOBS_ENV
-        os.environ[JOBS_ENV] = str(args.jobs)
+    Non-sweep commands run a fixed serial pipeline, where ``--jobs``
+    cannot change anything — say so instead of silently ignoring it.
+    """
+    if args.jobs is None:
+        return
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    if args.experiment not in SWEEP_COMMANDS:
+        warnings.warn(
+            f"--jobs has no effect for {args.experiment!r}: it runs "
+            f"serially (sweep fan-out applies to "
+            f"{', '.join(sorted(SWEEP_COMMANDS - {'all', 'scenario'}))}, "
+            f"'all' and 'scenario')",
+            stacklevel=2)
+        return
+    import os
+
+    from .sim.runner import JOBS_ENV
+    os.environ[JOBS_ENV] = str(args.jobs)
+
+
+def _run_scenario_command(args: argparse.Namespace) -> int:
+    """Handle ``repro scenario [name-or-file] [--list] [--seed N]``."""
+    import dataclasses
+    import os
+
+    from .scenarios import (ScenarioError, compile_scenario, load_scenario,
+                            registry)
+    if args.list_scenarios:
+        for name in registry.names():
+            print(f"{name:<16} {registry.description(name)}")
+        return 0
+    if args.scenario is None:
+        raise SystemExit("scenario: give a registered name or a spec file "
+                         "path (or --list)")
+    try:
+        # Registry names win over the filesystem, so a stray directory
+        # named `fig8` in cwd cannot shadow the registered scenario;
+        # spell file paths with an extension or a separator.
+        if args.scenario in registry.names():
+            spec = registry.get(args.scenario)
+        elif os.path.exists(args.scenario) or args.scenario.endswith(
+                (".json", ".yaml", ".yml")):
+            spec = load_scenario(args.scenario)
+        else:
+            spec = registry.get(args.scenario)  # raises with the names
+        if args.seed is not None:
+            spec = dataclasses.replace(spec, seed=args.seed)
+        result = compile_scenario(spec).run()
+    except ScenarioError as exc:
+        raise SystemExit(f"scenario: {exc}") from exc
+    print(result.render(), end="")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse arguments and dispatch to the selected command."""
+    args = build_parser().parse_args(argv)
+    _apply_jobs(args)
+    if args.experiment == "scenario":
+        return _run_scenario_command(args)
     if args.experiment == "quickstart":
-        quickstart()
+        quickstart(seed=args.seed)
         return 0
     if args.experiment == "all":
         for name in sorted(EXPERIMENTS):

@@ -205,3 +205,21 @@ class WebsearchCluster:
         for _ in range(steps):
             self.tick(dt_s)
         return self.history
+
+
+def run_cluster_arm(kwargs: dict):
+    """Run one independent cluster simulation from a kwargs dict.
+
+    A module-level (picklable) helper for fanning managed/baseline arms
+    across :func:`repro.sim.runner.run_sweep`: ``kwargs`` holds the
+    :class:`WebsearchCluster` constructor arguments plus ``duration``
+    (and optionally ``dt_s``).
+
+    Returns:
+        ``(history, root_slo_ms)`` for the arm.
+    """
+    kwargs = dict(kwargs)
+    duration = kwargs.pop("duration")
+    dt_s = kwargs.pop("dt_s", 1.0)
+    cluster = WebsearchCluster(**kwargs)
+    return cluster.run(duration, dt_s=dt_s), cluster.root_slo_ms

@@ -10,6 +10,12 @@ Figures 5, 6 and 7 are different projections of the same runs, so the
 sweep is shared: :func:`run_sweep` returns the full
 :class:`~repro.experiments.common.ColocationResult` grid and each
 figure module extracts its series.
+
+This module is a thin consumer of the scenario layer: the grid itself
+is the registered ``fig4`` scenario (see
+:func:`repro.scenarios.library.fig4_scenario`), and ``python -m
+repro.cli fig4`` and ``python -m repro.cli scenario fig4`` run the
+same compiled spec.
 """
 
 from __future__ import annotations
@@ -17,19 +23,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..hardware.spec import MachineSpec, default_machine_spec
+from ..hardware.spec import MachineSpec
+from ..scenarios import compile_scenario, registry
+from ..scenarios.library import (DEFAULT_LOADS,  # noqa: F401  (re-export)
+                                 FIG4_BE_TASKS, fig4_scenario)
 from ..workloads.latency_critical import LC_PROFILES
-from .common import ColocationResult, baseline_cell, colocation_sweep
-
-#: BE tasks shown in Figure 4 (iperf omitted for websearch/ml_cluster in
-#: the paper's plot because they are network-insensitive; we compute it
-#: anyway).
-FIG4_BE_TASKS = ("stream-LLC", "stream-DRAM", "cpu_pwr", "brain",
-                 "streetview", "iperf")
-
-#: A lighter load axis than the paper's 19 points, dense enough to show
-#: the shape; pass ``loads=load_sweep()`` for the full grid.
-DEFAULT_LOADS = (0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95)
+from .common import ColocationResult
 
 
 @dataclass
@@ -42,16 +41,20 @@ class ColocationSweep:
     results: Dict[str, List[ColocationResult]] = field(default_factory=dict)
 
     def worst_slo_series(self, be_name: str) -> List[float]:
+        """Worst 60 s windowed SLO fraction per load for one BE task."""
         return [r.history.worst_window_slo(skip_s=240.0)
                 for r in self.results[be_name]]
 
     def emu_series(self, be_name: str) -> List[float]:
+        """Mean EMU per load for one BE task."""
         return [r.mean_emu for r in self.results[be_name]]
 
     def metric_series(self, be_name: str, attr: str) -> List[float]:
+        """Any :class:`ColocationResult` attribute per load."""
         return [getattr(r, attr) for r in self.results[be_name]]
 
     def no_violations(self, be_name: str, threshold: float = 1.0) -> bool:
+        """True when no load point breaks the SLO for this BE task."""
         return all(v <= threshold for v in self.worst_slo_series(be_name))
 
 
@@ -64,21 +67,50 @@ def run_sweep(lc_name: str,
               processes: Optional[int] = None) -> ColocationSweep:
     """Run the Heracles colocation grid for one LC workload.
 
-    The (BE task x load) grid fans out across a process pool via
-    :func:`repro.experiments.common.colocation_sweep`; pass
+    Compiles a parametrized ``fig4`` scenario spec and runs it; the
+    (BE task x load) grid fans out across a process pool via
+    :func:`repro.experiments.common.colocation_sweep`.  Pass
     ``processes=1`` (or set ``REPRO_JOBS=1``) to force the serial path.
+
+    Args:
+        lc_name: LC workload to sweep.
+        be_tasks / loads: grid axes.
+        duration_s: per-cell run length (warm-up stays the paper's
+            240 s).
+        spec: machine override.  ``None`` uses the paper's server; a
+            non-default machine bypasses the scenario layer (scenario
+            hardware is expressed as ``ServerSpec`` overrides) and
+            calls the sweep machinery directly.
+        seed / processes: forwarded to every cell / the runner.
+
+    Returns:
+        The populated :class:`ColocationSweep`.
     """
     if lc_name not in LC_PROFILES:
         raise KeyError(f"unknown LC workload {lc_name!r}")
-    spec = spec or default_machine_spec()
-    sweep = ColocationSweep(lc_name=lc_name, loads=list(loads))
-    from ..workloads.latency_critical import make_lc_workload
-    lc = make_lc_workload(lc_name, spec)
-    sweep.baseline_slo = [baseline_cell(lc, load, spec) for load in loads]
-    sweep.results = colocation_sweep(
-        lc_name, be_tasks, loads, duration_s=duration_s, spec=spec,
-        seed=seed, processes=processes)
-    return sweep
+    if spec is not None:
+        from ..workloads.latency_critical import make_lc_workload
+        from .common import baseline_cell, colocation_sweep
+        sweep = ColocationSweep(lc_name=lc_name, loads=list(loads))
+        lc = make_lc_workload(lc_name, spec)
+        sweep.baseline_slo = [baseline_cell(lc, load, spec)
+                              for load in loads]
+        sweep.results = colocation_sweep(
+            lc_name, be_tasks, loads, duration_s=duration_s, spec=spec,
+            seed=seed, processes=processes)
+        return sweep
+    # The paper's 240 s warm-up, clamped so short smoke runs (which the
+    # pre-scenario harness allowed) still validate instead of tripping
+    # the spec's warmup < duration check.
+    warmup_s = min(240.0, max(0.0, duration_s - 1.0))
+    scenario = fig4_scenario(lc_tasks=(lc_name,), be_tasks=be_tasks,
+                             loads=loads, duration_s=duration_s,
+                             warmup_s=warmup_s, seed=seed)
+    result = compile_scenario(scenario).run(processes=processes)
+    grid = result.sweeps[lc_name]
+    return ColocationSweep(lc_name=lc_name, loads=grid.loads,
+                           baseline_slo=grid.baseline_slo,
+                           results=grid.results)
 
 
 def run_fig4(lc_names: Optional[Sequence[str]] = None,
@@ -91,16 +123,8 @@ def run_fig4(lc_names: Optional[Sequence[str]] = None,
 
 
 def main() -> None:
-    from ..analysis.tables import render_load_series_table
-    sweeps = run_fig4()
-    for name, sweep in sweeps.items():
-        series = {"baseline": sweep.baseline_slo}
-        for be_name in sweep.results:
-            series[be_name] = sweep.worst_slo_series(be_name)
-        print(render_load_series_table(
-            series, sweep.loads,
-            title=f"{name}: worst-case tail latency (fraction of SLO)"))
-        print()
+    """Regenerate the Figure 4 tables (the registered ``fig4`` scenario)."""
+    print(compile_scenario(registry.get("fig4")).run().render(), end="")
 
 
 if __name__ == "__main__":

@@ -18,6 +18,12 @@ The full-fidelity run is 12 simulated hours; ``time_compression``
 shrinks the trace period for quick looks (controller dynamics stay at
 real speed, so heavy compression makes the controller look artificially
 sluggish — use 1 for the faithful experiment).
+
+This module is a thin consumer of the scenario layer: the two-arm run
+is the registered ``fig8`` scenario (see
+:func:`repro.scenarios.library.fig8_scenario`), and ``python -m
+repro.cli fig8`` and ``python -m repro.cli scenario fig8`` run the
+same compiled spec.
 """
 
 from __future__ import annotations
@@ -25,40 +31,39 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..cluster.cluster import ClusterHistory, WebsearchCluster
+from ..cluster.cluster import ClusterHistory
 from ..hardware.spec import MachineSpec
-from ..sim.runner import run_sweep
-from ..workloads.traces import DiurnalTrace
+from ..scenarios import compile_scenario, registry
+from ..scenarios.library import fig8_scenario
 
 
 @dataclass
 class Fig8Result:
+    """Both cluster arms plus the derived headline metrics."""
+
     managed: ClusterHistory
     baseline: ClusterHistory
     root_slo_ms: float
 
     @property
     def heracles_max_slo(self) -> float:
+        """Worst root-latency SLO fraction under Heracles."""
         return self.managed.max_root_slo_fraction(skip_s=600.0)
 
     @property
     def baseline_max_slo(self) -> float:
+        """Worst root-latency SLO fraction without colocation."""
         return self.baseline.max_root_slo_fraction(skip_s=600.0)
 
     @property
     def heracles_mean_emu(self) -> float:
+        """Mean cluster EMU under Heracles."""
         return self.managed.mean_emu(skip_s=600.0)
 
     @property
     def baseline_mean_emu(self) -> float:
+        """Mean cluster EMU without colocation."""
         return self.baseline.mean_emu(skip_s=600.0)
-
-
-def _run_cluster_arm(kwargs: dict):
-    """One independent cluster simulation (module-level for pickling)."""
-    duration = kwargs.pop("duration")
-    cluster = WebsearchCluster(**kwargs)
-    return cluster.run(duration), cluster.root_slo_ms
 
 
 def run_fig8(leaves: int = 12,
@@ -70,38 +75,55 @@ def run_fig8(leaves: int = 12,
              processes: Optional[int] = None) -> Fig8Result:
     """Run the cluster trace with and without Heracles.
 
-    The two arms share nothing, so they are dispatched through
+    Compiles a parametrized ``fig8`` scenario spec; the two arms share
+    nothing, so they are dispatched through
     :func:`repro.sim.runner.run_sweep` — on a multi-core host they run
     concurrently; on a single core the runner falls back to a serial
     loop.
+
+    Args:
+        leaves / duration_s / time_compression / seed / engine:
+            forwarded to :func:`repro.scenarios.library.fig8_scenario`.
+        spec: optional machine override (``None`` = the paper's
+            server).  A non-default machine runs the cluster driver
+            directly, outside the scenario layer.
+        processes: runner worker count (``None`` = auto).
+
+    Returns:
+        The populated :class:`Fig8Result`.
     """
-    if time_compression < 1.0:
-        raise ValueError("compression must be >= 1")
-    period = 12 * 3600.0 / time_compression
-    duration = duration_s / time_compression
-
-    def make_trace() -> DiurnalTrace:
-        return DiurnalTrace(low=0.20, high=0.90, period_s=period,
-                            noise_sigma=0.02, seed=seed)
-
-    arms = [
-        dict(leaves=leaves, spec=spec, trace=make_trace(), managed=managed,
-             seed=seed, engine=engine, duration=duration)
-        for managed in (True, False)
-    ]
-    (managed_history, root_slo_ms), (baseline_history, _) = run_sweep(
-        _run_cluster_arm, arms, processes=processes)
-    return Fig8Result(managed=managed_history, baseline=baseline_history,
-                      root_slo_ms=root_slo_ms)
+    if spec is not None:
+        from ..cluster.cluster import run_cluster_arm
+        from ..sim.runner import run_sweep
+        from ..workloads.traces import DiurnalTrace
+        if time_compression < 1.0:
+            raise ValueError("compression must be >= 1")
+        period = 12 * 3600.0 / time_compression
+        arms = [
+            dict(leaves=leaves, spec=spec,
+                 trace=DiurnalTrace(low=0.20, high=0.90, period_s=period,
+                                    noise_sigma=0.02, seed=seed),
+                 managed=managed, seed=seed, engine=engine,
+                 duration=duration_s / time_compression)
+            for managed in (True, False)
+        ]
+        (managed_history, root_slo_ms), (baseline_history, _) = run_sweep(
+            run_cluster_arm, arms, processes=processes)
+        return Fig8Result(managed=managed_history,
+                          baseline=baseline_history,
+                          root_slo_ms=root_slo_ms)
+    scenario = fig8_scenario(leaves=leaves, duration_s=duration_s,
+                             time_compression=time_compression, seed=seed,
+                             engine=engine)
+    result = compile_scenario(scenario).run(processes=processes)
+    return Fig8Result(managed=result.cluster_arms["managed"],
+                      baseline=result.cluster_arms["baseline"],
+                      root_slo_ms=result.root_slo_ms)
 
 
 def main() -> None:
-    result = run_fig8(leaves=8)
-    print(f"root SLO: {result.root_slo_ms:.1f} ms")
-    print(f"Heracles: max latency {result.heracles_max_slo * 100:.0f}% of "
-          f"SLO, mean EMU {result.heracles_mean_emu * 100:.0f}%")
-    print(f"baseline: max latency {result.baseline_max_slo * 100:.0f}% of "
-          f"SLO, mean EMU {result.baseline_mean_emu * 100:.0f}%")
+    """Regenerate the Figure 8 report (the registered ``fig8`` scenario)."""
+    print(compile_scenario(registry.get("fig8")).run().render(), end="")
 
 
 if __name__ == "__main__":

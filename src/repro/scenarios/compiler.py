@@ -1,0 +1,375 @@
+"""Lower a validated :class:`ScenarioSpec` onto the engine stack.
+
+The compiler is the bridge between the declarative layer and the
+execution layers below it.  Each scenario *shape* lowers differently:
+
+* ``members`` — one :class:`~repro.sim.engine.ColocationSim` (single
+  member, scalar engine) or one :class:`~repro.sim.batch.
+  BatchColocationSim` (several members, or ``engine: batch``), with a
+  real controller attached per member and injections wrapped around it;
+* ``sweep`` — a (LC x BE x load) grid of independent constant-load
+  runs fanned across :func:`repro.sim.runner.run_sweep` via the
+  experiment layer's :func:`~repro.experiments.common.colocation_sweep`
+  (so a sweep scenario is numerically identical to the hand-wired
+  Figure 4-7 harness, offline-profiling memoization included);
+* ``cluster`` — managed/baseline :class:`~repro.cluster.cluster.
+  WebsearchCluster` arms dispatched through the same runner.
+
+Typical use::
+
+    from repro.scenarios import load_scenario, compile_scenario
+
+    spec = load_scenario("examples/scenarios/three_way_be_mix.yaml")
+    result = compile_scenario(spec).run()
+    print(result.render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..baselines import SCENARIO_BASELINES, baseline_for_sim
+from ..cluster.cluster import ClusterHistory, run_cluster_arm
+from ..core.controller import HeraclesController
+from ..experiments.common import (ColocationResult, baseline_cell,
+                                  colocation_sweep)
+from ..sim.actuators import Actuators
+from ..sim.batch import BatchColocationSim
+from ..sim.engine import ColocationSim, Controller, SimHistory
+from ..sim.runner import memoized_dram_model, run_sweep
+from ..workloads.best_effort import make_be_workload
+from ..workloads.latency_critical import make_lc_workload
+from .spec import InjectionSpec, ScenarioError, ScenarioSpec
+
+
+class InjectionSchedule:
+    """Controller wrapper that fires timed injections, then delegates.
+
+    Implements the engine's ``Controller`` protocol.  Pending
+    injections whose timestamp has arrived are applied to the member's
+    :class:`Actuators` *before* the wrapped controller's step, so the
+    controller reacts to the injected state within the same tick — an
+    antagonist arriving mid-run looks to Heracles exactly like a real
+    task launch.
+    """
+
+    def __init__(self, actuators: Actuators,
+                 injections: List[InjectionSpec],
+                 inner: Optional[Controller] = None):
+        self._actuators = actuators
+        self._inner = inner
+        self._pending = sorted(injections, key=lambda inj: inj.at_s)
+        self._applied: List[InjectionSpec] = []
+
+    @property
+    def applied(self) -> List[InjectionSpec]:
+        """Injections fired so far (oldest first)."""
+        return list(self._applied)
+
+    def step(self, now_s: float) -> None:
+        """Fire due injections, then step the wrapped controller."""
+        while self._pending and self._pending[0].at_s <= now_s:
+            injection = self._pending.pop(0)
+            self._apply(injection)
+            self._applied.append(injection)
+        if self._inner is not None:
+            self._inner.step(now_s)
+
+    def _apply(self, injection: InjectionSpec) -> None:
+        """Translate one injection into an actuator call."""
+        a = self._actuators
+        if injection.action == "enable_be":
+            a.enable_be()
+        elif injection.action == "disable_be":
+            a.disable_be()
+        elif injection.action == "set_be_cores":
+            a.set_be_cores(int(injection.value))
+        elif injection.action == "set_llc_split":
+            a.set_llc_split(int(injection.value))
+        elif injection.action == "set_be_net_ceil":
+            a.set_be_net_ceil(injection.value)
+        else:  # pragma: no cover - spec validation is exhaustive
+            raise ScenarioError(f"unknown injection action "
+                                f"{injection.action!r}")
+
+
+@dataclass
+class MemberResult:
+    """One member's run summary plus its full tick history."""
+
+    lc: str
+    be: Optional[str]
+    controller: str
+    seed: int
+    history: SimHistory
+    warmup_s: float
+
+    def worst_window_slo(self) -> float:
+        """Worst 60 s windowed SLO fraction past the warm-up."""
+        return self.history.worst_window_slo(skip_s=self.warmup_s)
+
+    def mean_emu(self) -> float:
+        """Mean effective machine utilization past the warm-up."""
+        return self.history.mean_emu(skip_s=self.warmup_s)
+
+    def max_slo_fraction(self) -> float:
+        """Worst single-tick SLO fraction past the warm-up."""
+        return self.history.max_slo_fraction(skip_s=self.warmup_s)
+
+    def mean_be_throughput(self) -> float:
+        """Mean normalized BE throughput past the warm-up."""
+        return self.history.mean("be_throughput_norm", skip_s=self.warmup_s)
+
+
+@dataclass
+class SweepGrid:
+    """One LC workload's (BE x load) sweep results."""
+
+    lc_name: str
+    loads: List[float]
+    baseline_slo: List[float] = field(default_factory=list)
+    results: Dict[str, List[ColocationResult]] = field(default_factory=dict)
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a compiled scenario produced.
+
+    Which fields are populated depends on the scenario shape:
+    ``members`` fills :attr:`members`; ``sweep`` fills :attr:`sweeps`
+    (one :class:`SweepGrid` per LC task, in spec order); ``cluster``
+    fills :attr:`cluster_arms` and :attr:`root_slo_ms`.
+    """
+
+    spec: ScenarioSpec
+    kind: str
+    members: List[MemberResult] = field(default_factory=list)
+    sweeps: Dict[str, SweepGrid] = field(default_factory=dict)
+    cluster_arms: Dict[str, ClusterHistory] = field(default_factory=dict)
+    root_slo_ms: Optional[float] = None
+
+    def render(self) -> str:
+        """Human-readable report (what the CLI prints)."""
+        if self.kind == "sweep":
+            return self._render_sweep()
+        if self.kind == "cluster":
+            return self._render_cluster()
+        return self._render_members()
+
+    def _render_members(self) -> str:
+        lines = [f"scenario {self.spec.name}: {len(self.members)} member(s),"
+                 f" {self.spec.duration_s:.0f} s"
+                 f" (warm-up {self.spec.warmup_s:.0f} s)"]
+        header = (f"{'#':>2}  {'LC':<10} {'BE':<12} {'controller':<20} "
+                  f"{'worst60s':>9} {'maxSLO':>7} {'EMU':>6} {'BE-tput':>8}")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for i, m in enumerate(self.members):
+            lines.append(
+                f"{i:>2}  {m.lc:<10} {m.be or '-':<12} {m.controller:<20} "
+                f"{m.worst_window_slo():>9.0%} {m.max_slo_fraction():>7.0%} "
+                f"{m.mean_emu():>6.0%} {m.mean_be_throughput():>8.0%}")
+        return "\n".join(lines) + "\n"
+
+    def _render_sweep(self) -> str:
+        from ..analysis.tables import render_load_series_table
+        chunks = []
+        for lc_name, grid in self.sweeps.items():
+            series: Dict[str, List[float]] = {}
+            if grid.baseline_slo:
+                series["baseline"] = grid.baseline_slo
+            for be_name, cells in grid.results.items():
+                series[be_name] = [
+                    r.history.worst_window_slo(skip_s=self.spec.warmup_s)
+                    for r in cells]
+            chunks.append(render_load_series_table(
+                series, grid.loads,
+                title=f"{lc_name}: worst-case tail latency "
+                      f"(fraction of SLO)"))
+            chunks.append("")
+        return "\n".join(chunks) + "\n" if chunks else ""
+
+    def _render_cluster(self) -> str:
+        skip = self.spec.warmup_s
+        lines = [f"root SLO: {self.root_slo_ms:.1f} ms"]
+        labels = {"managed": "Heracles", "baseline": "baseline"}
+        for arm, history in self.cluster_arms.items():
+            lines.append(
+                f"{labels.get(arm, arm)}: max latency "
+                f"{history.max_root_slo_fraction(skip_s=skip) * 100:.0f}% "
+                f"of SLO, mean EMU "
+                f"{history.mean_emu(skip_s=skip) * 100:.0f}%")
+        return "\n".join(lines) + "\n"
+
+
+class CompiledScenario:
+    """A spec lowered onto the engine stack, ready to run.
+
+    ``kind`` is one of ``single`` (scalar engine), ``batch``, ``sweep``
+    or ``cluster``.  :meth:`build` materializes the simulation object
+    for member scenarios (useful for stepping manually or attaching
+    extra instrumentation); :meth:`run` executes the whole scenario and
+    returns a :class:`ScenarioResult`.
+    """
+
+    def __init__(self, spec: ScenarioSpec):
+        spec.validate()
+        self.spec = spec
+        if spec.sweep is not None:
+            self.kind = "sweep"
+        elif spec.cluster is not None:
+            self.kind = "cluster"
+        elif len(spec.members) > 1 or spec.engine == "batch":
+            self.kind = "batch"
+        else:
+            self.kind = "single"
+        self.machine = spec.server.to_machine_spec()
+
+    # -- member scenarios ----------------------------------------------
+
+    def build(self) -> Union[ColocationSim, BatchColocationSim]:
+        """Materialize the simulation for a member scenario.
+
+        Returns a fully wired :class:`ColocationSim` (kind ``single``)
+        or :class:`BatchColocationSim` (kind ``batch``) with
+        controllers attached and injections scheduled, but not yet run.
+
+        Raises:
+            ScenarioError: for sweep/cluster scenarios, which lower to
+                runner grids instead of a single simulation object.
+        """
+        spec = self.spec
+        if self.kind == "single":
+            member = spec.members[0]
+            sim = ColocationSim(
+                lc=make_lc_workload(member.lc, self.machine),
+                trace=member.trace.build(default_seed=spec.member_seed(0)),
+                be=(make_be_workload(member.be, self.machine)
+                    if member.be else None),
+                spec=self.machine,
+                seed=spec.member_seed(0))
+            self._attach(sim, member.lc, member.be,
+                         spec.member_controller(0))
+            return sim
+        if self.kind == "batch":
+            lcs = [make_lc_workload(m.lc, self.machine)
+                   for m in spec.members]
+            bes = [make_be_workload(m.be, self.machine) if m.be else None
+                   for m in spec.members]
+            traces = [
+                m.trace.build(default_seed=spec.member_seed(i))
+                for i, m in enumerate(spec.members)]
+            seeds = [spec.member_seed(i) for i in range(len(spec.members))]
+            batch = BatchColocationSim(
+                lc=lcs, trace=traces, bes=bes, spec=self.machine,
+                seeds=seeds, n=len(spec.members), record_history=True)
+            for i, member in enumerate(spec.members):
+                self._attach(batch.members[i], member.lc, member.be,
+                             spec.member_controller(i))
+            return batch
+        raise ScenarioError(
+            f"scenario {spec.name!r} is a {self.kind} scenario; it lowers "
+            f"to a runner grid — call run() instead of build()")
+
+    def _attach(self, sim, lc_name: str, be_name: Optional[str],
+                controller: str) -> None:
+        """Attach the member's controller and injection schedule."""
+        if controller == "heracles" and be_name is not None:
+            model = memoized_dram_model(lc_name, self.machine)
+            HeraclesController.for_sim(sim, dram_model=model)
+        elif controller in SCENARIO_BASELINES:
+            baseline_for_sim(controller, sim)
+        # "none" (and "heracles" without a BE to manage): no controller.
+        if self.spec.injections:
+            sim.attach_controller(InjectionSchedule(
+                sim.actuators, list(self.spec.injections),
+                inner=sim.controller))
+
+    # -- execution ------------------------------------------------------
+
+    def run(self, processes: Optional[int] = None) -> ScenarioResult:
+        """Execute the scenario and collect results.
+
+        Args:
+            processes: worker processes for sweep/cluster fan-out
+                (``None`` = auto via :func:`repro.sim.runner.
+                default_jobs`; ignored by member scenarios, which are
+                single simulations).
+
+        Returns:
+            A populated :class:`ScenarioResult`.
+        """
+        if self.kind == "sweep":
+            return self._run_sweep(processes)
+        if self.kind == "cluster":
+            return self._run_cluster(processes)
+        return self._run_members()
+
+    def _run_members(self) -> ScenarioResult:
+        spec = self.spec
+        sim = self.build()
+        sim.run(spec.duration_s, dt_s=spec.dt_s)
+        result = ScenarioResult(spec=spec, kind=self.kind)
+        sims = sim.members if isinstance(sim, BatchColocationSim) else [sim]
+        for i, member_sim in enumerate(sims):
+            member = spec.members[i]
+            result.members.append(MemberResult(
+                lc=member.lc, be=member.be,
+                controller=spec.member_controller(i),
+                seed=spec.member_seed(i),
+                history=member_sim.history,
+                warmup_s=spec.warmup_s))
+        return result
+
+    def _run_sweep(self, processes: Optional[int]) -> ScenarioResult:
+        spec = self.spec
+        sweep = spec.sweep
+        result = ScenarioResult(spec=spec, kind="sweep")
+        if spec.controller != "heracles":
+            raise ScenarioError(
+                "sweep scenarios currently run under Heracles; use a "
+                "'members' scenario for baseline-controller studies")
+        for lc_name in sweep.lc_tasks:
+            grid = SweepGrid(lc_name=lc_name, loads=list(sweep.loads))
+            if sweep.include_baseline:
+                lc = make_lc_workload(lc_name, self.machine)
+                grid.baseline_slo = [
+                    baseline_cell(lc, load, self.machine)
+                    for load in sweep.loads]
+            grid.results = colocation_sweep(
+                lc_name, sweep.be_tasks, sweep.loads,
+                duration_s=spec.duration_s, warmup_s=spec.warmup_s,
+                spec=self.machine, seed=spec.seed, processes=processes)
+            result.sweeps[lc_name] = grid
+        return result
+
+    def _run_cluster(self, processes: Optional[int]) -> ScenarioResult:
+        spec = self.spec
+        cluster = spec.cluster
+        machine = None if spec.server.is_default() else self.machine
+        arms = [
+            dict(leaves=cluster.leaves, spec=machine,
+                 trace=cluster.trace.build(default_seed=spec.seed),
+                 managed=(arm == "managed"), seed=spec.seed,
+                 engine=cluster.engine, duration=spec.duration_s,
+                 dt_s=spec.dt_s)
+            for arm in cluster.arms
+        ]
+        outcomes = run_sweep(run_cluster_arm, arms, processes=processes)
+        result = ScenarioResult(spec=spec, kind="cluster")
+        for arm, (history, root_slo_ms) in zip(cluster.arms, outcomes):
+            result.cluster_arms[arm] = history
+            result.root_slo_ms = root_slo_ms
+        return result
+
+
+def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
+    """Validate and lower a scenario spec (see :class:`CompiledScenario`)."""
+    return CompiledScenario(spec)
+
+
+def run_scenario(spec: ScenarioSpec,
+                 processes: Optional[int] = None) -> ScenarioResult:
+    """Compile and run a scenario in one call."""
+    return compile_scenario(spec).run(processes=processes)

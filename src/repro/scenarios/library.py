@@ -1,0 +1,163 @@
+"""Registered scenarios shipped with the package.
+
+The paper's fig4 and fig8 evaluations are expressed here as scenario
+specs — the experiment modules under :mod:`repro.experiments` are thin
+consumers of these factories — alongside scenarios the paper never ran
+(a heterogeneous three-way BE mix, a diurnal spike stress test with a
+mid-run antagonist arrival).  ``python -m repro.cli scenario --list``
+shows everything registered here.
+
+The canonical Figure 4 axes (``FIG4_BE_TASKS``, ``DEFAULT_LOADS``)
+live in this module; :mod:`repro.experiments.fig4_latency_slo`
+re-exports them for backward compatibility.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..workloads.latency_critical import LC_PROFILES
+from .registry import register
+from .spec import (ClusterSpec, ScenarioSpec, SpikeSpec, SweepSpec,
+                   TraceSpec, WorkloadSpec)
+
+#: BE tasks shown in Figure 4 (iperf omitted for websearch/ml_cluster in
+#: the paper's plot because they are network-insensitive; we compute it
+#: anyway).
+FIG4_BE_TASKS = ("stream-LLC", "stream-DRAM", "cpu_pwr", "brain",
+                 "streetview", "iperf")
+
+#: A lighter load axis than the paper's 19 points, dense enough to show
+#: the shape; pass ``loads=load_sweep()`` for the full grid.
+DEFAULT_LOADS = (0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95)
+
+
+def fig4_scenario(lc_tasks: Optional[Sequence[str]] = None,
+                  be_tasks: Sequence[str] = FIG4_BE_TASKS,
+                  loads: Sequence[float] = DEFAULT_LOADS,
+                  duration_s: float = 900.0,
+                  warmup_s: float = 240.0,
+                  seed: int = 0) -> ScenarioSpec:
+    """The Figure 4-7 colocation grid as a scenario spec.
+
+    Args:
+        lc_tasks: LC workloads to sweep (default: all three, sorted).
+        be_tasks / loads: the grid axes.
+        duration_s / warmup_s / seed: per-cell run parameters.
+
+    Returns:
+        A ``sweep``-shaped :class:`ScenarioSpec` whose compiled run is
+        numerically identical to the hand-wired
+        :func:`repro.experiments.fig4_latency_slo.run_sweep` grid.
+    """
+    return ScenarioSpec(
+        name="fig4",
+        description="Paper Figure 4: LC tail latency under Heracles "
+                    "across loads and BE colocations",
+        controller="heracles",
+        duration_s=duration_s,
+        warmup_s=warmup_s,
+        seed=seed,
+        sweep=SweepSpec(
+            lc_tasks=tuple(lc_tasks) if lc_tasks
+            else tuple(sorted(LC_PROFILES)),
+            be_tasks=tuple(be_tasks),
+            loads=tuple(loads)))
+
+
+def fig8_scenario(leaves: int = 8,
+                  duration_s: float = 12 * 3600.0,
+                  time_compression: float = 1.0,
+                  seed: int = 7,
+                  engine: str = "batch") -> ScenarioSpec:
+    """The §5.3 websearch cluster (Figure 8) as a scenario spec.
+
+    Args:
+        leaves: leaf servers behind the fan-out root.
+        duration_s: simulated wall-clock before compression.
+        time_compression: shrink factor for quick looks (the trace
+            period and duration shrink together; controller dynamics
+            stay at real speed).
+        seed / engine: forwarded to the cluster driver.
+
+    Returns:
+        A ``cluster``-shaped :class:`ScenarioSpec` with managed and
+        baseline arms, numerically identical to the hand-wired
+        :func:`repro.experiments.fig8_cluster.run_fig8`.
+    """
+    if time_compression < 1.0:
+        raise ValueError("compression must be >= 1")
+    period = 12 * 3600.0 / time_compression
+    duration = duration_s / time_compression
+    return ScenarioSpec(
+        name="fig8",
+        description="Paper Figure 8: 12-hour diurnal websearch cluster, "
+                    "Heracles vs baseline",
+        duration_s=duration,
+        # The paper skips the first 10 minutes; compressed quick looks
+        # skip half the (shortened) run instead.
+        warmup_s=min(600.0, 0.5 * duration),
+        seed=seed,
+        cluster=ClusterSpec(
+            leaves=leaves,
+            arms=("managed", "baseline"),
+            trace=TraceSpec(kind="diurnal", low=0.20, high=0.90,
+                            period_s=period, noise_sigma=0.02),
+            engine=engine))
+
+
+def mixed_fleet_scenario() -> ScenarioSpec:
+    """A colocation mix the paper never ran: three heterogeneous servers.
+
+    websearch+brain, websearch+streetview and memkeyval+iperf advance
+    together through the batched backend, each member under its own
+    Heracles instance with a distinct constant load and seed.
+    """
+    return ScenarioSpec(
+        name="mixed-fleet",
+        description="Three-way heterogeneous LC x BE mix on the batched "
+                    "backend",
+        engine="batch",
+        duration_s=600.0,
+        warmup_s=180.0,
+        members=(
+            WorkloadSpec(lc="websearch", be="brain",
+                         trace=TraceSpec(kind="constant", load=0.60)),
+            WorkloadSpec(lc="websearch", be="streetview",
+                         trace=TraceSpec(kind="constant", load=0.40)),
+            WorkloadSpec(lc="memkeyval", be="iperf",
+                         trace=TraceSpec(kind="constant", load=0.50)),
+        ))
+
+
+def diurnal_spike_scenario() -> ScenarioSpec:
+    """A stress test: diurnal swing, lunchtime spike, late antagonist.
+
+    One websearch+stream-DRAM server rides a one-hour diurnal trace
+    with a 95% load spike injected at t=1500 s; Heracles must shed the
+    BE task through the spike and re-grow it afterwards.
+    """
+    return ScenarioSpec(
+        name="diurnal-spike",
+        description="Diurnal websearch with a 95% load spike under "
+                    "Heracles + stream-DRAM",
+        duration_s=3600.0,
+        warmup_s=300.0,
+        members=(
+            WorkloadSpec(
+                lc="websearch", be="stream-DRAM",
+                trace=TraceSpec(
+                    kind="diurnal", low=0.20, high=0.80, period_s=3600.0,
+                    spikes=(SpikeSpec(at_s=1500.0, duration_s=180.0,
+                                      load=0.95),))),
+        ))
+
+
+register("fig4", fig4_scenario,
+         "Figure 4 grid: 3 LC x 6 BE x 10 loads under Heracles")
+register("fig8", fig8_scenario,
+         "Figure 8 cluster: 8 leaves, 12 h diurnal trace, both arms")
+register("mixed-fleet", mixed_fleet_scenario,
+         "Three heterogeneous LC x BE servers on the batched backend")
+register("diurnal-spike", diurnal_spike_scenario,
+         "Diurnal websearch + stream-DRAM with a 95% load spike")

@@ -1,0 +1,241 @@
+"""Load scenario specs from dicts, JSON files, or YAML-subset files.
+
+The loader accepts three sources and funnels them all through
+:meth:`ScenarioSpec.from_dict` (which rejects unknown fields and
+validates values):
+
+* a plain ``dict`` — the programmatic path;
+* a ``.json`` file — always available;
+* a ``.yaml``/``.yml`` file — parsed by :func:`parse_simple_yaml`, a
+  built-in indentation-based parser for the subset of YAML the spec
+  schema needs (nested mappings, lists of scalars or mappings, inline
+  ``[...]`` lists and flat ``{...}`` mappings, JSON-style scalars, and
+  ``#`` comments).  No third-party YAML dependency is required, so spec
+  files load identically on minimal CI images; when PyYAML is
+  installed the subset parses to the same structures (asserted by
+  ``tests/test_scenarios.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, List, Mapping, Tuple, Union
+
+from .spec import ScenarioError, ScenarioSpec
+
+
+def _parse_scalar(text: str) -> Any:
+    """Parse one YAML-subset scalar token (JSON-ish semantics)."""
+    text = text.strip()
+    if text in ("null", "~", ""):
+        return None
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    if (len(text) >= 2 and text[0] == text[-1] and text[0] in "'\""):
+        return text[1:-1]
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _parse_flow(text: str, where: str) -> Any:
+    """Parse an inline ``[...]`` list or flat ``{...}`` mapping."""
+    text = text.strip()
+    if text.startswith("["):
+        if not text.endswith("]"):
+            raise ScenarioError(f"{where}: unterminated inline list")
+        body = text[1:-1].strip()
+        if not body:
+            return []
+        return [_parse_scalar(part) for part in body.split(",")]
+    if text.startswith("{"):
+        if not text.endswith("}"):
+            raise ScenarioError(f"{where}: unterminated inline mapping")
+        body = text[1:-1].strip()
+        out = {}
+        if not body:
+            return out
+        for part in body.split(","):
+            if ":" not in part:
+                raise ScenarioError(f"{where}: expected 'key: value' in "
+                                    f"inline mapping, got {part.strip()!r}")
+            key, _, value = part.partition(":")
+            out[key.strip()] = _parse_scalar(value)
+        return out
+    return _parse_scalar(text)
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a ``#`` comment that is not inside a quoted string."""
+    quote = None
+    for i, ch in enumerate(line):
+        if quote:
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+        elif ch == "#":
+            return line[:i]
+    return line
+
+
+def _logical_lines(text: str) -> List[Tuple[int, str, int]]:
+    """Split into (indent, content, line_number), skipping blanks."""
+    out = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        if "\t" in raw[:len(raw) - len(raw.lstrip())]:
+            raise ScenarioError(f"line {number}: tabs are not allowed in "
+                                f"indentation")
+        stripped = _strip_comment(raw).rstrip()
+        if not stripped.strip():
+            continue
+        indent = len(stripped) - len(stripped.lstrip())
+        out.append((indent, stripped.strip(), number))
+    return out
+
+
+def _parse_block(lines: List[Tuple[int, str, int]], pos: int,
+                 indent: int) -> Tuple[Any, int]:
+    """Parse one mapping or list block starting at ``lines[pos]``.
+
+    Returns the parsed value and the index of the first line *after*
+    the block.
+    """
+    is_list = lines[pos][1].startswith("- ") or lines[pos][1] == "-"
+    result: Any = [] if is_list else {}
+    while pos < len(lines):
+        line_indent, content, number = lines[pos]
+        if line_indent < indent:
+            break
+        if line_indent > indent:
+            raise ScenarioError(f"line {number}: unexpected indentation")
+        item_is_list = content.startswith("- ") or content == "-"
+        if item_is_list != is_list:
+            raise ScenarioError(f"line {number}: cannot mix list items and "
+                                f"mapping keys at one indentation level")
+        if is_list:
+            body = content[2:].strip() if content.startswith("- ") else ""
+            if not body:
+                # A nested block forms the item.
+                pos += 1
+                if pos >= len(lines) or lines[pos][0] <= indent:
+                    result.append(None)
+                    continue
+                value, pos = _parse_block(lines, pos, lines[pos][0])
+                result.append(value)
+            elif ":" in body and not body.startswith(("[", "{", "'", '"')):
+                # "- key: value" starts a mapping item; its first key
+                # sits at column indent+2, further keys of the same
+                # item at that column on the following lines, and a
+                # block value of the first key deeper still.
+                item = {}
+                key_col = indent + 2
+                key, _, rest = body.partition(":")
+                pos += 1
+                if rest.strip():
+                    item[key.strip()] = _parse_flow(rest, f"line {number}")
+                elif pos < len(lines) and lines[pos][0] > key_col:
+                    item[key.strip()], pos = _parse_block(lines, pos,
+                                                          lines[pos][0])
+                else:
+                    item[key.strip()] = None
+                if pos < len(lines) and indent < lines[pos][0] <= key_col:
+                    more, pos = _parse_block(lines, pos, lines[pos][0])
+                    if not isinstance(more, Mapping):
+                        raise ScenarioError(
+                            f"line {number}: expected mapping keys under "
+                            f"the list item")
+                    item.update(more)
+                result.append(item)
+            else:
+                result.append(_parse_flow(body, f"line {number}"))
+                pos += 1
+        else:
+            if ":" not in content:
+                raise ScenarioError(f"line {number}: expected 'key: value'")
+            key, _, rest = content.partition(":")
+            key = key.strip()
+            rest = rest.strip()
+            if rest:
+                result[key] = _parse_flow(rest, f"line {number}")
+                pos += 1
+            else:
+                pos += 1
+                if pos >= len(lines) or lines[pos][0] <= indent:
+                    result[key] = None
+                else:
+                    result[key], pos = _parse_block(lines, pos,
+                                                    lines[pos][0])
+    return result, pos
+
+
+def parse_simple_yaml(text: str) -> Any:
+    """Parse the YAML subset used by scenario spec files.
+
+    Supports nested mappings, block lists (``- item``, including
+    ``- key: value`` mapping items), inline ``[a, b]`` lists and flat
+    ``{k: v}`` mappings, JSON-style scalars, and ``#`` comments.
+    Raises :class:`ScenarioError` (with a line number) on anything
+    outside the subset — anchors, multi-line strings, flow nesting.
+    """
+    lines = _logical_lines(text)
+    if not lines:
+        return {}
+    value, pos = _parse_block(lines, 0, lines[0][0])
+    if pos != len(lines):
+        raise ScenarioError(f"line {lines[pos][2]}: trailing content "
+                            f"outside the document block")
+    return value
+
+
+def loads_scenario(text: str, fmt: str = "yaml") -> ScenarioSpec:
+    """Parse a scenario spec from a string (``fmt``: ``yaml``/``json``)."""
+    if fmt == "json":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"invalid JSON: {exc}") from exc
+    elif fmt == "yaml":
+        data = parse_simple_yaml(text)
+    else:
+        raise ScenarioError(f"unknown spec format {fmt!r}; use 'yaml' or "
+                            f"'json'")
+    return ScenarioSpec.from_dict(data)
+
+
+def load_scenario(source: Union[Mapping, str, os.PathLike]) -> ScenarioSpec:
+    """Load and validate a scenario spec.
+
+    Args:
+        source: a mapping (used directly), or a path to a ``.json`` /
+            ``.yaml`` / ``.yml`` spec file.
+
+    Returns:
+        The validated :class:`ScenarioSpec`.
+
+    Raises:
+        ScenarioError: on parse errors, unknown fields, or invalid
+            values — always naming the offending field or line.
+    """
+    if isinstance(source, Mapping):
+        return ScenarioSpec.from_dict(source)
+    path = os.fspath(source)
+    ext = os.path.splitext(path)[1].lower()
+    if ext not in (".json", ".yaml", ".yml"):
+        raise ScenarioError(f"unsupported spec file extension {ext!r} "
+                            f"({path}); use .json, .yaml or .yml")
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ScenarioError(f"cannot read spec file {path}: {exc}") from exc
+    return loads_scenario(text, fmt="json" if ext == ".json" else "yaml")

@@ -1,0 +1,77 @@
+"""Named scenario registry.
+
+Scenarios that ship with the package (the paper's figures, the example
+stress tests) register themselves here so the CLI can run them by name
+(``python -m repro.cli scenario fig4``) and users can list what exists
+(``--list``).  Registration stores a zero-argument *factory* rather
+than a spec instance, so registered scenarios are built — and therefore
+re-validated — on every lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .spec import ScenarioError, ScenarioSpec
+
+_REGISTRY: Dict[str, Callable[[], ScenarioSpec]] = {}
+_DESCRIPTIONS: Dict[str, str] = {}
+
+
+def register(name: str, factory: Callable[[], ScenarioSpec],
+             description: str = "") -> None:
+    """Register a named scenario.
+
+    Args:
+        name: lookup key (also the conventional ``spec.name``).
+        factory: zero-argument callable returning the spec.
+        description: one-liner for ``--list``; defaults to the spec's
+            own description at first lookup.
+    """
+    if name in _REGISTRY:
+        raise ScenarioError(f"scenario {name!r} is already registered")
+    _REGISTRY[name] = factory
+    _DESCRIPTIONS[name] = description
+
+
+def registered(name: str, description: str = ""
+               ) -> Callable[[Callable[[], ScenarioSpec]],
+                             Callable[[], ScenarioSpec]]:
+    """Decorator form of :func:`register` for spec factories."""
+    def wrap(factory: Callable[[], ScenarioSpec]
+             ) -> Callable[[], ScenarioSpec]:
+        register(name, factory, description)
+        return factory
+    return wrap
+
+
+def get(name: str) -> ScenarioSpec:
+    """Build the registered scenario ``name`` (re-validating it)."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown scenario {name!r}; registered scenarios: "
+            f"{', '.join(names()) or '(none)'}") from None
+    spec = factory()
+    spec.validate()
+    return spec
+
+
+def names() -> List[str]:
+    """Sorted names of every registered scenario."""
+    return sorted(_REGISTRY)
+
+
+def description(name: str) -> str:
+    """The one-line description shown by ``--list``.
+
+    Falls back to the built spec's own ``description`` when none was
+    given at registration time.
+    """
+    if name not in _REGISTRY:
+        raise ScenarioError(f"unknown scenario {name!r}")
+    stored = _DESCRIPTIONS.get(name)
+    if stored:
+        return stored
+    return _REGISTRY[name]().description

@@ -1,0 +1,722 @@
+"""Typed scenario specifications.
+
+A *scenario* is a declarative description of a colocation experiment —
+which hardware, which workloads, which load traces, which controller,
+what to sweep, and what to inject mid-run.  Specs are plain frozen
+dataclasses built from dicts (hand-written, loaded from JSON/YAML
+files, or constructed in code); :mod:`repro.scenarios.compiler` lowers
+a validated spec onto the engine/batch/runner stack.
+
+Every ``from_dict`` constructor rejects unknown fields and validates
+values eagerly, so a typo'd spec fails at load time with a message
+naming the offending field — never as a silent default deep inside a
+multi-hour run.
+
+The schema is documented field-by-field in ``docs/scenarios.md``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..hardware.spec import MachineSpec, default_machine_spec
+from ..workloads.best_effort import BE_PROFILES
+from ..workloads.latency_critical import LC_PROFILES
+from ..workloads.traces import (ConstantLoad, DiurnalTrace, LoadSpike,
+                                LoadTrace, ReplayTrace, SpikeOverlay,
+                                StepLoad)
+
+#: Controllers a scenario (or a member) may select.
+CONTROLLERS = ("heracles", "none", "static-conservative",
+               "static-optimistic")
+
+#: Execution backends.  ``auto`` picks scalar for a single member and
+#: batch for multi-member scenarios.
+ENGINES = ("auto", "scalar", "batch")
+
+#: Mid-run injection actions (see :class:`InjectionSpec`).
+INJECTION_ACTIONS = ("enable_be", "disable_be", "set_be_cores",
+                     "set_llc_split", "set_be_net_ceil")
+
+
+class ScenarioError(ValueError):
+    """A scenario spec failed to load or validate."""
+
+
+def _require_mapping(data: Any, ctx: str) -> Mapping[str, Any]:
+    """Validate that ``data`` is a string-keyed mapping."""
+    if not isinstance(data, Mapping) or not all(
+            isinstance(k, str) for k in data):
+        raise ScenarioError(f"{ctx}: expected a mapping of field names, "
+                            f"got {type(data).__name__}")
+    return data
+
+
+def _reject_unknown(data: Mapping[str, Any], allowed: Tuple[str, ...],
+                    ctx: str) -> None:
+    """Raise :class:`ScenarioError` naming any field not in ``allowed``."""
+    unknown = sorted(set(data) - set(allowed))
+    if unknown:
+        raise ScenarioError(
+            f"{ctx}: unknown field(s) {', '.join(map(repr, unknown))}; "
+            f"allowed fields: {', '.join(sorted(allowed))}")
+
+
+def _number(value: Any, ctx: str) -> float:
+    """Coerce an int/float (but not bool) to float, or fail."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ScenarioError(f"{ctx}: expected a number, got {value!r}")
+    return float(value)
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """Hardware overrides applied to the paper's default server.
+
+    Every field is optional; ``None`` keeps the corresponding value of
+    :func:`repro.hardware.spec.default_machine_spec` (the dual-socket
+    Haswell-class machine).  The composed :class:`MachineSpec` is
+    validated, so inconsistent overrides (e.g. one LLC way) fail at
+    spec-build time.
+    """
+
+    sockets: Optional[int] = None
+    cores: Optional[int] = None
+    threads_per_core: Optional[int] = None
+    llc_mb: Optional[float] = None
+    llc_ways: Optional[int] = None
+    dram_bw_gbps: Optional[float] = None
+    tdp_watts: Optional[float] = None
+    idle_watts: Optional[float] = None
+    link_gbps: Optional[float] = None
+    nominal_ghz: Optional[float] = None
+    max_turbo_ghz: Optional[float] = None
+    all_core_turbo_ghz: Optional[float] = None
+    min_ghz: Optional[float] = None
+
+    _FIELDS = ("sockets", "cores", "threads_per_core", "llc_mb", "llc_ways",
+               "dram_bw_gbps", "tdp_watts", "idle_watts", "link_gbps",
+               "nominal_ghz", "max_turbo_ghz", "all_core_turbo_ghz",
+               "min_ghz")
+    _INT_FIELDS = ("sockets", "cores", "threads_per_core", "llc_ways")
+
+    @classmethod
+    def from_dict(cls, data: Any, ctx: str = "server") -> "ServerSpec":
+        """Build from a mapping, rejecting unknown fields."""
+        data = _require_mapping(data, ctx)
+        _reject_unknown(data, cls._FIELDS, ctx)
+        kwargs: Dict[str, Any] = {}
+        for name, value in data.items():
+            if value is None:
+                continue
+            if name in cls._INT_FIELDS:
+                if isinstance(value, bool) or not isinstance(value, int):
+                    raise ScenarioError(f"{ctx}.{name}: expected an "
+                                        f"integer, got {value!r}")
+                kwargs[name] = value
+            else:
+                kwargs[name] = _number(value, f"{ctx}.{name}")
+        return cls(**kwargs)
+
+    def is_default(self) -> bool:
+        """True when no override is set (the paper's stock server)."""
+        return all(getattr(self, name) is None for name in self._FIELDS)
+
+    def to_machine_spec(self) -> MachineSpec:
+        """Compose the overrides onto the default machine and validate."""
+        base = default_machine_spec()
+        turbo_over = {k: v for k, v in (
+            ("nominal_ghz", self.nominal_ghz),
+            ("max_turbo_ghz", self.max_turbo_ghz),
+            ("all_core_turbo_ghz", self.all_core_turbo_ghz),
+            ("min_ghz", self.min_ghz)) if v is not None}
+        socket_over = {k: v for k, v in (
+            ("cores", self.cores),
+            ("threads_per_core", self.threads_per_core),
+            ("llc_mb", self.llc_mb),
+            ("llc_ways", self.llc_ways),
+            ("dram_bw_gbps", self.dram_bw_gbps),
+            ("tdp_watts", self.tdp_watts),
+            ("idle_watts", self.idle_watts)) if v is not None}
+        socket = base.socket
+        if turbo_over:
+            socket = dataclasses.replace(
+                socket, turbo=dataclasses.replace(socket.turbo, **turbo_over))
+        if socket_over:
+            socket = dataclasses.replace(socket, **socket_over)
+        machine_over: Dict[str, Any] = {"socket": socket}
+        if self.sockets is not None:
+            machine_over["sockets"] = self.sockets
+        if self.link_gbps is not None:
+            machine_over["nic"] = dataclasses.replace(
+                base.nic, link_gbps=self.link_gbps)
+        spec = dataclasses.replace(base, **machine_over)
+        try:
+            spec.validate()
+        except ValueError as exc:
+            raise ScenarioError(f"server: invalid hardware override "
+                                f"({exc})") from exc
+        return spec
+
+
+@dataclass(frozen=True)
+class SpikeSpec:
+    """One injected load spike (see :class:`~repro.workloads.traces.
+    LoadSpike`): hold ``load`` from ``at_s`` for ``duration_s``."""
+
+    at_s: float
+    duration_s: float
+    load: float
+
+    _FIELDS = ("at_s", "duration_s", "load")
+
+    @classmethod
+    def from_dict(cls, data: Any, ctx: str = "spike") -> "SpikeSpec":
+        """Build from a mapping, rejecting unknown fields."""
+        data = _require_mapping(data, ctx)
+        _reject_unknown(data, cls._FIELDS, ctx)
+        for name in cls._FIELDS:
+            if name not in data:
+                raise ScenarioError(f"{ctx}: missing required field "
+                                    f"{name!r}")
+        spike = cls(at_s=_number(data["at_s"], f"{ctx}.at_s"),
+                    duration_s=_number(data["duration_s"],
+                                       f"{ctx}.duration_s"),
+                    load=_number(data["load"], f"{ctx}.load"))
+        spike.validate(ctx)
+        return spike
+
+    def validate(self, ctx: str = "spike") -> None:
+        """Check value ranges (delegates to :class:`LoadSpike`)."""
+        try:
+            LoadSpike(self.at_s, self.duration_s, self.load)
+        except ValueError as exc:
+            raise ScenarioError(f"{ctx}: {exc}") from exc
+
+    def to_load_spike(self) -> LoadSpike:
+        """Convert to the workload layer's :class:`LoadSpike`."""
+        return LoadSpike(at_s=self.at_s, duration_s=self.duration_s,
+                         load=self.load)
+
+
+#: Allowed fields per trace kind (beyond ``kind`` and ``spikes``).
+_TRACE_KIND_FIELDS = {
+    "constant": ("load",),
+    "diurnal": ("low", "high", "period_s", "noise_sigma", "seed"),
+    "step": ("times_s", "loads"),
+    "replay": ("samples", "interval_s"),
+}
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Declarative load trace: a kind plus its parameters.
+
+    Kinds mirror :mod:`repro.workloads.traces`: ``constant`` (fields
+    ``load``), ``diurnal`` (``low``, ``high``, ``period_s``,
+    ``noise_sigma``, ``seed``), ``step`` (``times_s``, ``loads``) and
+    ``replay`` (``samples``, ``interval_s``).  Any kind accepts a
+    ``spikes`` list; spikes overlay the base trace via
+    :class:`~repro.workloads.traces.SpikeOverlay`.
+    """
+
+    kind: str = "constant"
+    load: float = 0.5
+    low: float = 0.20
+    high: float = 0.90
+    period_s: float = 12 * 3600.0
+    noise_sigma: float = 0.0
+    seed: Optional[int] = None
+    times_s: Tuple[float, ...] = ()
+    loads: Tuple[float, ...] = ()
+    samples: Tuple[float, ...] = ()
+    interval_s: float = 1.0
+    spikes: Tuple[SpikeSpec, ...] = ()
+
+    @classmethod
+    def from_dict(cls, data: Any, ctx: str = "trace") -> "TraceSpec":
+        """Build from a mapping; fields must match the trace ``kind``."""
+        data = _require_mapping(data, ctx)
+        kind = data.get("kind", "constant")
+        if kind not in _TRACE_KIND_FIELDS:
+            raise ScenarioError(
+                f"{ctx}.kind: unknown trace kind {kind!r}; choose from "
+                f"{', '.join(sorted(_TRACE_KIND_FIELDS))}")
+        allowed = ("kind", "spikes") + _TRACE_KIND_FIELDS[kind]
+        _reject_unknown(data, allowed, ctx)
+        kwargs: Dict[str, Any] = {"kind": kind}
+        for name in _TRACE_KIND_FIELDS[kind]:
+            if name not in data:
+                continue
+            value = data[name]
+            if name == "seed":
+                if isinstance(value, bool) or not isinstance(value, int):
+                    raise ScenarioError(f"{ctx}.seed: expected an integer, "
+                                        f"got {value!r}")
+                kwargs[name] = value
+            elif name in ("times_s", "loads", "samples"):
+                if not isinstance(value, (list, tuple)):
+                    raise ScenarioError(f"{ctx}.{name}: expected a list, "
+                                        f"got {value!r}")
+                kwargs[name] = tuple(
+                    _number(v, f"{ctx}.{name}[{i}]")
+                    for i, v in enumerate(value))
+            else:
+                kwargs[name] = _number(value, f"{ctx}.{name}")
+        raw_spikes = data.get("spikes", ())
+        if not isinstance(raw_spikes, (list, tuple)):
+            raise ScenarioError(f"{ctx}.spikes: expected a list, got "
+                                f"{raw_spikes!r}")
+        kwargs["spikes"] = tuple(
+            SpikeSpec.from_dict(s, f"{ctx}.spikes[{i}]")
+            for i, s in enumerate(raw_spikes))
+        spec = cls(**kwargs)
+        spec.validate(ctx)
+        return spec
+
+    def validate(self, ctx: str = "trace") -> None:
+        """Validate by building the trace (traces self-validate)."""
+        try:
+            self.build(default_seed=0)
+        except ScenarioError:
+            raise
+        except ValueError as exc:
+            raise ScenarioError(f"{ctx}: {exc}") from exc
+
+    def build(self, default_seed: int = 0) -> LoadTrace:
+        """Construct the concrete :class:`LoadTrace`.
+
+        Args:
+            default_seed: seed for stochastic kinds when the spec does
+                not pin one.
+
+        Returns:
+            The base trace, wrapped in :class:`SpikeOverlay` when the
+            spec lists spikes.
+        """
+        if self.kind == "constant":
+            base: LoadTrace = ConstantLoad(self.load)
+        elif self.kind == "diurnal":
+            seed = self.seed if self.seed is not None else default_seed
+            base = DiurnalTrace(low=self.low, high=self.high,
+                                period_s=self.period_s,
+                                noise_sigma=self.noise_sigma, seed=seed)
+        elif self.kind == "step":
+            base = StepLoad(times_s=list(self.times_s),
+                            loads=list(self.loads))
+        elif self.kind == "replay":
+            base = ReplayTrace(samples=list(self.samples),
+                               interval_s=self.interval_s)
+        else:  # pragma: no cover - from_dict rejects unknown kinds
+            raise ScenarioError(f"unknown trace kind {self.kind!r}")
+        if self.spikes:
+            return SpikeOverlay(base,
+                                [s.to_load_spike() for s in self.spikes])
+        return base
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One colocation member: an LC service plus an optional BE task.
+
+    Args:
+        lc: LC workload name (``websearch``, ``ml_cluster``,
+            ``memkeyval``).
+        be: BE task name (``brain``, ``streetview``, ``stream-LLC``,
+            ``stream-DRAM``, ``cpu_pwr``, ``iperf``) or ``None`` for an
+            LC-only member.
+        trace: the member's offered-load trace.
+        seed: tail-noise RNG seed; ``None`` derives ``scenario.seed +
+            member index`` so fleet members decorrelate by default.
+        controller: per-member override of the scenario controller.
+    """
+
+    lc: str
+    be: Optional[str] = None
+    trace: TraceSpec = field(default_factory=TraceSpec)
+    seed: Optional[int] = None
+    controller: Optional[str] = None
+
+    _FIELDS = ("lc", "be", "trace", "seed", "controller")
+
+    @classmethod
+    def from_dict(cls, data: Any, ctx: str = "member") -> "WorkloadSpec":
+        """Build from a mapping, rejecting unknown fields."""
+        data = _require_mapping(data, ctx)
+        _reject_unknown(data, cls._FIELDS, ctx)
+        if "lc" not in data:
+            raise ScenarioError(f"{ctx}: missing required field 'lc'")
+        kwargs: Dict[str, Any] = {"lc": data["lc"], "be": data.get("be")}
+        if "trace" in data:
+            kwargs["trace"] = TraceSpec.from_dict(data["trace"],
+                                                  f"{ctx}.trace")
+        if data.get("seed") is not None:
+            seed = data["seed"]
+            if isinstance(seed, bool) or not isinstance(seed, int):
+                raise ScenarioError(f"{ctx}.seed: expected an integer, "
+                                    f"got {seed!r}")
+            kwargs["seed"] = seed
+        if data.get("controller") is not None:
+            kwargs["controller"] = data["controller"]
+        spec = cls(**kwargs)
+        spec.validate(ctx)
+        return spec
+
+    def validate(self, ctx: str = "member") -> None:
+        """Check workload names and the controller override."""
+        if self.lc not in LC_PROFILES:
+            raise ScenarioError(
+                f"{ctx}.lc: unknown LC workload {self.lc!r}; choose from "
+                f"{', '.join(sorted(LC_PROFILES))}")
+        if self.be is not None and self.be not in BE_PROFILES:
+            raise ScenarioError(
+                f"{ctx}.be: unknown BE workload {self.be!r}; choose from "
+                f"{', '.join(sorted(BE_PROFILES))}")
+        if self.controller is not None and self.controller not in CONTROLLERS:
+            raise ScenarioError(
+                f"{ctx}.controller: unknown controller "
+                f"{self.controller!r}; choose from {', '.join(CONTROLLERS)}")
+        self.trace.validate(f"{ctx}.trace")
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A (LC task x BE task x load) grid, fanned across the runner.
+
+    Each cell is one independent constant-load colocation run (the
+    Figure 4-7 methodology); cells are dispatched through
+    :func:`repro.sim.runner.run_sweep`.
+    """
+
+    lc_tasks: Tuple[str, ...] = ("websearch",)
+    be_tasks: Tuple[str, ...] = ("brain",)
+    loads: Tuple[float, ...] = (0.25, 0.50, 0.75)
+    include_baseline: bool = True
+
+    _FIELDS = ("lc_tasks", "be_tasks", "loads", "include_baseline")
+
+    @classmethod
+    def from_dict(cls, data: Any, ctx: str = "sweep") -> "SweepSpec":
+        """Build from a mapping, rejecting unknown fields."""
+        data = _require_mapping(data, ctx)
+        _reject_unknown(data, cls._FIELDS, ctx)
+        kwargs: Dict[str, Any] = {}
+        for name in ("lc_tasks", "be_tasks"):
+            if name in data:
+                value = data[name]
+                if (not isinstance(value, (list, tuple))
+                        or not all(isinstance(v, str) for v in value)):
+                    raise ScenarioError(f"{ctx}.{name}: expected a list of "
+                                        f"names, got {value!r}")
+                kwargs[name] = tuple(value)
+        if "loads" in data:
+            value = data["loads"]
+            if not isinstance(value, (list, tuple)):
+                raise ScenarioError(f"{ctx}.loads: expected a list, got "
+                                    f"{value!r}")
+            kwargs["loads"] = tuple(_number(v, f"{ctx}.loads[{i}]")
+                                    for i, v in enumerate(value))
+        if "include_baseline" in data:
+            if not isinstance(data["include_baseline"], bool):
+                raise ScenarioError(f"{ctx}.include_baseline: expected a "
+                                    f"bool, got {data['include_baseline']!r}")
+            kwargs["include_baseline"] = data["include_baseline"]
+        spec = cls(**kwargs)
+        spec.validate(ctx)
+        return spec
+
+    def validate(self, ctx: str = "sweep") -> None:
+        """Check axis names and load ranges."""
+        if not self.lc_tasks or not self.be_tasks or not self.loads:
+            raise ScenarioError(f"{ctx}: lc_tasks, be_tasks and loads must "
+                                f"all be non-empty")
+        for name in self.lc_tasks:
+            if name not in LC_PROFILES:
+                raise ScenarioError(
+                    f"{ctx}.lc_tasks: unknown LC workload {name!r}; choose "
+                    f"from {', '.join(sorted(LC_PROFILES))}")
+        for name in self.be_tasks:
+            if name not in BE_PROFILES:
+                raise ScenarioError(
+                    f"{ctx}.be_tasks: unknown BE workload {name!r}; choose "
+                    f"from {', '.join(sorted(BE_PROFILES))}")
+        for load in self.loads:
+            if not 0.0 < load <= 1.0:
+                raise ScenarioError(f"{ctx}.loads: load {load!r} outside "
+                                    f"(0, 1]")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A websearch minicluster run (the §5.3 / Figure 8 shape).
+
+    Arms (``managed`` = Heracles on every leaf, ``baseline`` = no
+    colocation) are independent simulations fanned across the runner.
+    """
+
+    leaves: int = 8
+    arms: Tuple[str, ...] = ("managed", "baseline")
+    trace: TraceSpec = field(default_factory=lambda: TraceSpec(
+        kind="diurnal", low=0.20, high=0.90, period_s=12 * 3600.0,
+        noise_sigma=0.02))
+    engine: str = "batch"
+
+    _FIELDS = ("leaves", "arms", "trace", "engine")
+
+    @classmethod
+    def from_dict(cls, data: Any, ctx: str = "cluster") -> "ClusterSpec":
+        """Build from a mapping, rejecting unknown fields."""
+        data = _require_mapping(data, ctx)
+        _reject_unknown(data, cls._FIELDS, ctx)
+        kwargs: Dict[str, Any] = {}
+        if "leaves" in data:
+            leaves = data["leaves"]
+            if isinstance(leaves, bool) or not isinstance(leaves, int):
+                raise ScenarioError(f"{ctx}.leaves: expected an integer, "
+                                    f"got {leaves!r}")
+            kwargs["leaves"] = leaves
+        if "arms" in data:
+            arms = data["arms"]
+            if (not isinstance(arms, (list, tuple))
+                    or not all(isinstance(a, str) for a in arms)):
+                raise ScenarioError(f"{ctx}.arms: expected a list of arm "
+                                    f"names, got {arms!r}")
+            kwargs["arms"] = tuple(arms)
+        if "trace" in data:
+            kwargs["trace"] = TraceSpec.from_dict(data["trace"],
+                                                  f"{ctx}.trace")
+        if "engine" in data:
+            kwargs["engine"] = data["engine"]
+        spec = cls(**kwargs)
+        spec.validate(ctx)
+        return spec
+
+    def validate(self, ctx: str = "cluster") -> None:
+        """Check leaf count, arm names and the engine choice."""
+        if self.leaves < 2:
+            raise ScenarioError(f"{ctx}.leaves: a cluster needs at least "
+                                f"two leaves")
+        if not self.arms:
+            raise ScenarioError(f"{ctx}.arms: need at least one arm")
+        for arm in self.arms:
+            if arm not in ("managed", "baseline"):
+                raise ScenarioError(f"{ctx}.arms: unknown arm {arm!r}; "
+                                    f"choose from managed, baseline")
+        if self.engine not in ("batch", "scalar"):
+            raise ScenarioError(f"{ctx}.engine: unknown engine "
+                                f"{self.engine!r}; choose batch or scalar")
+        self.trace.validate(f"{ctx}.trace")
+
+
+@dataclass(frozen=True)
+class InjectionSpec:
+    """A timed actuation applied mid-run to every member.
+
+    Injections model events the controller must *react* to — a BE
+    antagonist arriving at ``t=600``, an operator forcing cores away —
+    as opposed to load spikes, which live on the trace.  Actions map
+    directly onto :class:`~repro.sim.actuators.Actuators` calls:
+    ``enable_be``, ``disable_be``, ``set_be_cores``, ``set_llc_split``,
+    ``set_be_net_ceil`` (the last three take ``value``).
+    """
+
+    at_s: float
+    action: str
+    value: Optional[float] = None
+
+    _FIELDS = ("at_s", "action", "value")
+    _VALUE_ACTIONS = ("set_be_cores", "set_llc_split", "set_be_net_ceil")
+
+    @classmethod
+    def from_dict(cls, data: Any, ctx: str = "injection") -> "InjectionSpec":
+        """Build from a mapping, rejecting unknown fields."""
+        data = _require_mapping(data, ctx)
+        _reject_unknown(data, cls._FIELDS, ctx)
+        for name in ("at_s", "action"):
+            if name not in data:
+                raise ScenarioError(f"{ctx}: missing required field "
+                                    f"{name!r}")
+        value = data.get("value")
+        spec = cls(at_s=_number(data["at_s"], f"{ctx}.at_s"),
+                   action=data["action"],
+                   value=None if value is None
+                   else _number(value, f"{ctx}.value"))
+        spec.validate(ctx)
+        return spec
+
+    def validate(self, ctx: str = "injection") -> None:
+        """Check the action name and value requirements."""
+        if self.at_s < 0:
+            raise ScenarioError(f"{ctx}.at_s: must be >= 0")
+        if self.action not in INJECTION_ACTIONS:
+            raise ScenarioError(
+                f"{ctx}.action: unknown action {self.action!r}; choose "
+                f"from {', '.join(INJECTION_ACTIONS)}")
+        if self.action in self._VALUE_ACTIONS and self.value is None:
+            raise ScenarioError(f"{ctx}: action {self.action!r} requires "
+                                f"a 'value'")
+        if self.action not in self._VALUE_ACTIONS and self.value is not None:
+            raise ScenarioError(f"{ctx}: action {self.action!r} takes no "
+                                f"'value'")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, self-contained experiment description.
+
+    Exactly one of ``members`` (explicit servers), ``sweep`` (a grid of
+    constant-load runs) or ``cluster`` (the §5.3 minicluster) selects
+    the scenario shape; the compiler lowers each shape onto a different
+    part of the engine stack (see :mod:`repro.scenarios.compiler`).
+
+    Args:
+        name: registry/display name.
+        description: one-line human summary.
+        server: hardware overrides (defaults to the paper's machine).
+        controller: policy for every member unless overridden per
+            member — one of ``heracles``, ``none``,
+            ``static-conservative``, ``static-optimistic``.
+        duration_s / dt_s / warmup_s: run length, tick size, and the
+            warm-up prefix excluded from reported metrics.
+        seed: base RNG seed (members without an explicit seed get
+            ``seed + index``).
+        engine: ``auto`` | ``scalar`` | ``batch`` for member scenarios.
+        members / sweep / cluster: the scenario shape (exactly one).
+        injections: timed actuations applied to every member.
+    """
+
+    name: str
+    description: str = ""
+    server: ServerSpec = field(default_factory=ServerSpec)
+    controller: str = "heracles"
+    duration_s: float = 900.0
+    dt_s: float = 1.0
+    warmup_s: float = 240.0
+    seed: int = 0
+    engine: str = "auto"
+    members: Tuple[WorkloadSpec, ...] = ()
+    sweep: Optional[SweepSpec] = None
+    cluster: Optional[ClusterSpec] = None
+    injections: Tuple[InjectionSpec, ...] = ()
+
+    _FIELDS = ("name", "description", "server", "controller", "duration_s",
+               "dt_s", "warmup_s", "seed", "engine", "members", "sweep",
+               "cluster", "injections")
+
+    @classmethod
+    def from_dict(cls, data: Any, ctx: str = "scenario") -> "ScenarioSpec":
+        """Build a full scenario from a (possibly nested) mapping.
+
+        Rejects unknown fields at every level and validates the result;
+        this is the single entry point the loader and the registry use.
+        """
+        data = _require_mapping(data, ctx)
+        _reject_unknown(data, cls._FIELDS, ctx)
+        if "name" not in data or not isinstance(data["name"], str):
+            raise ScenarioError(f"{ctx}: a scenario needs a string 'name'")
+        kwargs: Dict[str, Any] = {"name": data["name"]}
+        if "description" in data:
+            if not isinstance(data["description"], str):
+                raise ScenarioError(f"{ctx}.description: expected a string")
+            kwargs["description"] = data["description"]
+        if "server" in data:
+            kwargs["server"] = ServerSpec.from_dict(data["server"],
+                                                    f"{ctx}.server")
+        if "controller" in data:
+            kwargs["controller"] = data["controller"]
+        for name in ("duration_s", "dt_s", "warmup_s"):
+            if name in data:
+                kwargs[name] = _number(data[name], f"{ctx}.{name}")
+        if "seed" in data:
+            seed = data["seed"]
+            if isinstance(seed, bool) or not isinstance(seed, int):
+                raise ScenarioError(f"{ctx}.seed: expected an integer, "
+                                    f"got {seed!r}")
+            kwargs["seed"] = seed
+        if "engine" in data:
+            kwargs["engine"] = data["engine"]
+        if "members" in data:
+            members = data["members"]
+            if not isinstance(members, (list, tuple)):
+                raise ScenarioError(f"{ctx}.members: expected a list")
+            kwargs["members"] = tuple(
+                WorkloadSpec.from_dict(m, f"{ctx}.members[{i}]")
+                for i, m in enumerate(members))
+        if "sweep" in data and data["sweep"] is not None:
+            kwargs["sweep"] = SweepSpec.from_dict(data["sweep"],
+                                                  f"{ctx}.sweep")
+        if "cluster" in data and data["cluster"] is not None:
+            kwargs["cluster"] = ClusterSpec.from_dict(data["cluster"],
+                                                      f"{ctx}.cluster")
+        if "injections" in data:
+            injections = data["injections"]
+            if not isinstance(injections, (list, tuple)):
+                raise ScenarioError(f"{ctx}.injections: expected a list")
+            kwargs["injections"] = tuple(
+                InjectionSpec.from_dict(inj, f"{ctx}.injections[{i}]")
+                for i, inj in enumerate(injections))
+        spec = cls(**kwargs)
+        spec.validate(ctx)
+        return spec
+
+    def validate(self, ctx: str = "scenario") -> None:
+        """Validate the whole spec tree (shape, ranges, nested specs)."""
+        shapes = [s for s in ("members", "sweep", "cluster")
+                  if (getattr(self, s) or None) is not None]
+        if len(shapes) != 1:
+            raise ScenarioError(
+                f"{ctx}: exactly one of 'members', 'sweep' or 'cluster' "
+                f"must be given (got {shapes or 'none'})")
+        if self.controller not in CONTROLLERS:
+            raise ScenarioError(
+                f"{ctx}.controller: unknown controller "
+                f"{self.controller!r}; choose from {', '.join(CONTROLLERS)}")
+        if self.engine not in ENGINES:
+            raise ScenarioError(f"{ctx}.engine: unknown engine "
+                                f"{self.engine!r}; choose from "
+                                f"{', '.join(ENGINES)}")
+        if self.duration_s <= 0:
+            raise ScenarioError(f"{ctx}.duration_s: must be positive")
+        if self.dt_s <= 0:
+            raise ScenarioError(f"{ctx}.dt_s: must be positive")
+        if not 0 <= self.warmup_s < self.duration_s:
+            raise ScenarioError(f"{ctx}.warmup_s: must be in "
+                                f"[0, duration_s)")
+        if self.engine == "scalar" and len(self.members) > 1:
+            raise ScenarioError(f"{ctx}: the scalar engine runs exactly one "
+                                f"member; use engine 'batch' (or 'auto') "
+                                f"for {len(self.members)} members")
+        # Fields the other shapes would silently ignore are rejected
+        # instead — the subsystem's no-silent-defaults contract.
+        if self.sweep is not None and self.dt_s != 1.0:
+            raise ScenarioError(f"{ctx}.dt_s: sweep cells always run at "
+                                f"the engine's 1 s tick; drop dt_s")
+        if (self.sweep is not None or self.cluster is not None) \
+                and self.engine != "auto":
+            raise ScenarioError(
+                f"{ctx}.engine: only member scenarios take a top-level "
+                f"engine (cluster scenarios set cluster.engine)")
+        if self.injections and not self.members:
+            raise ScenarioError(f"{ctx}.injections: injections require a "
+                                f"'members' scenario")
+        self.server.to_machine_spec()
+        for i, member in enumerate(self.members):
+            member.validate(f"{ctx}.members[{i}]")
+        if self.sweep is not None:
+            self.sweep.validate(f"{ctx}.sweep")
+        if self.cluster is not None:
+            self.cluster.validate(f"{ctx}.cluster")
+        for i, injection in enumerate(self.injections):
+            injection.validate(f"{ctx}.injections[{i}]")
+
+    def member_seed(self, index: int) -> int:
+        """Effective tail-noise seed of member ``index``."""
+        member = self.members[index]
+        return member.seed if member.seed is not None else self.seed + index
+
+    def member_controller(self, index: int) -> str:
+        """Effective controller name of member ``index``."""
+        member = self.members[index]
+        return member.controller or self.controller

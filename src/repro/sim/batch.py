@@ -83,15 +83,19 @@ class BatchCounterView(CounterBank):
     # -- DRAM ----------------------------------------------------------
 
     def dram_total_bw_gbps(self) -> float:
+        """Total achieved DRAM bandwidth across sockets (GB/s)."""
         return float(self._batch._tick["dram_total_gbps"][self._i])
 
     def dram_utilization(self) -> float:
+        """Worst per-socket DRAM channel utilization, in [0, 1]."""
         return float(self._batch._tick["dram_max_util"][self._i])
 
     def worst_socket_dram_bw_gbps(self) -> float:
+        """Achieved DRAM bandwidth of the busiest socket (GB/s)."""
         return float(self._batch._tick["worst_socket_dram_gbps"][self._i])
 
     def dram_bw_of(self, task: str) -> float:
+        """Achieved DRAM bandwidth of one task by name (GB/s)."""
         batch, i = self._batch, self._i
         if task == batch.members[i].lc.name:
             return float(batch._tick["lc_dram_ach"][i])
@@ -102,6 +106,7 @@ class BatchCounterView(CounterBank):
         return 0.0
 
     def per_task_dram_gbps(self) -> Dict[str, float]:
+        """Achieved DRAM bandwidth of every running task (GB/s)."""
         batch, i = self._batch, self._i
         out = {batch.members[i].lc.name: float(batch._tick["lc_dram_ach"][i])}
         be = batch.members[i].be
@@ -112,18 +117,22 @@ class BatchCounterView(CounterBank):
     # -- Power / frequency ----------------------------------------------
 
     def socket_power_watts(self, socket: int) -> float:
+        """RAPL-smoothed package power of one socket (W)."""
         return float(self._batch._rapl_watts[self._i, socket])
 
     def power_fraction_of_tdp(self, socket: int) -> float:
+        """One socket's RAPL power as a fraction of its TDP."""
         return (self._batch._rapl_watts[self._i, socket]
                 / self._server.spec.socket.tdp_watts)
 
     def max_power_fraction_of_tdp(self) -> float:
+        """The hottest socket's power as a fraction of TDP."""
         return float(max(
             self.power_fraction_of_tdp(s)
             for s in range(self._server.spec.sockets)))
 
     def freq_of(self, task: str) -> Optional[float]:
+        """Core-weighted achieved frequency of a task (GHz), if running."""
         batch, i = self._batch, self._i
         if task == batch.members[i].lc.name:
             return float(batch._tick["lc_freq_ghz"][i])
@@ -136,6 +145,7 @@ class BatchCounterView(CounterBank):
     # -- Network ---------------------------------------------------------
 
     def tx_gbps_of(self, task: str) -> float:
+        """Achieved egress bandwidth of one task by name (Gb/s)."""
         batch, i = self._batch, self._i
         if task == batch.members[i].lc.name:
             # Plain-float list view: the network subcontroller polls
@@ -148,11 +158,13 @@ class BatchCounterView(CounterBank):
         return 0.0
 
     def link_tx_gbps(self) -> float:
+        """Total achieved egress on the NIC link (Gb/s)."""
         return float(self._batch._tick["link_tx_gbps"][self._i])
 
     # -- CPU -------------------------------------------------------------
 
     def cpu_utilization(self) -> float:
+        """Fraction of physical cores in use, in [0, 1]."""
         return float(self._batch._tick["cpu_utilization"][self._i])
 
 
@@ -168,6 +180,7 @@ class _PassiveCat(CatController):
     """
 
     def set_partition(self, cos: str, ways: int) -> None:
+        """Record the partition size for ``cos`` without validation."""
         if ways == 0:
             self._classes.pop(cos, None)
         else:
@@ -214,21 +227,26 @@ class BatchMember:
 
     @property
     def time_s(self) -> float:
+        """The batch clock (shared by every member)."""
         return self.batch.time_s
 
     @property
     def spec(self) -> MachineSpec:
+        """The batch's (homogeneous) machine description."""
         return self.batch.spec
 
     def attach_controller(self, controller: Controller) -> None:
+        """Install the member's per-tick controller."""
         self.controller = controller
 
     @property
     def last_tail_ms(self) -> float:
+        """This member's tail latency at the latest tick (ms)."""
         return float(self.batch._tick["tail_ms"][self.index])
 
     @property
     def last_emu(self) -> float:
+        """This member's EMU at the latest tick."""
         return float(self.batch._tick["emu"][self.index])
 
 
@@ -261,6 +279,7 @@ class BatchHistory:
                "be_throughput_norm", "emu")
 
     def append(self, result: BatchTickResult) -> None:
+        """Record one tick's member-wide observable arrays."""
         self.t_s.append(result.t_s)
         for name in self._FIELDS:
             self.columns.setdefault(name, []).append(getattr(result, name))
@@ -271,6 +290,7 @@ class BatchHistory:
             else np.zeros((0, 0))
 
     def times(self) -> np.ndarray:
+        """Tick timestamps of the recorded run, shape (T,)."""
         return np.array(self.t_s, dtype=float)
 
     def __len__(self) -> int:

@@ -76,18 +76,22 @@ class SimHistory:
     records: List[TickRecord] = field(default_factory=list)
 
     def append(self, record: TickRecord) -> None:
+        """Record one tick."""
         self.records.append(record)
 
     def column(self, name: str) -> np.ndarray:
+        """One :class:`TickRecord` field over the whole run, shape (T,)."""
         return np.array([getattr(r, name) for r in self.records], dtype=float)
 
     def __len__(self) -> int:
         return len(self.records)
 
     def last(self) -> TickRecord:
+        """The most recent tick's record."""
         return self.records[-1]
 
     def max_slo_fraction(self, skip_s: float = 0.0) -> float:
+        """Worst single-tick SLO fraction after ``skip_s`` seconds."""
         vals = [r.slo_fraction for r in self.records if r.t_s >= skip_s]
         return max(vals) if vals else 0.0
 
@@ -136,10 +140,12 @@ class SimHistory:
         return float(windows.max())
 
     def mean_emu(self, skip_s: float = 0.0) -> float:
+        """Mean effective machine utilization after ``skip_s`` seconds."""
         vals = [r.emu for r in self.records if r.t_s >= skip_s]
         return float(np.mean(vals)) if vals else 0.0
 
     def mean(self, name: str, skip_s: float = 0.0) -> float:
+        """Mean of any record field after ``skip_s`` seconds."""
         vals = [getattr(r, name) for r in self.records if r.t_s >= skip_s]
         return float(np.mean(vals)) if vals else 0.0
 
@@ -173,6 +179,7 @@ class ColocationSim:
             self.be_monitor = None
 
     def attach_controller(self, controller: Controller) -> None:
+        """Install the per-tick controller (Heracles or a baseline)."""
         self.controller = controller
 
     # ------------------------------------------------------------------

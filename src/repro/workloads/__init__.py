@@ -11,8 +11,9 @@ from .best_effort import (BE_PROFILES, BRAIN, CPU_PWR, IPERF, STREAM_DRAM,
 from .latency_critical import (LC_PROFILES, MEMKEYVAL, ML_CLUSTER, WEBSEARCH,
                                LatencyCriticalWorkload, LcWorkloadProfile,
                                make_lc_workload)
-from .traces import (ConstantLoad, DiurnalTrace, LoadTrace, ReplayTrace,
-                     StepLoad, load_sweep, websearch_cluster_trace)
+from .traces import (ConstantLoad, DiurnalTrace, LoadSpike, LoadTrace,
+                     ReplayTrace, SpikeOverlay, StepLoad, load_sweep,
+                     websearch_cluster_trace)
 
 __all__ = [
     "AntagonistSpec", "Placement", "antagonist_by_label",
@@ -24,6 +25,6 @@ __all__ = [
     "make_be_workload", "reference_throughput_units",
     "LC_PROFILES", "MEMKEYVAL", "ML_CLUSTER", "WEBSEARCH",
     "LatencyCriticalWorkload", "LcWorkloadProfile", "make_lc_workload",
-    "ConstantLoad", "DiurnalTrace", "LoadTrace", "ReplayTrace", "StepLoad",
-    "load_sweep", "websearch_cluster_trace",
+    "ConstantLoad", "DiurnalTrace", "LoadSpike", "LoadTrace", "ReplayTrace",
+    "SpikeOverlay", "StepLoad", "load_sweep", "websearch_cluster_trace",
 ]

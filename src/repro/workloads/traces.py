@@ -156,6 +156,61 @@ class ReplayTrace(LoadTrace):
         return self.samples[idx]
 
 
+@dataclass(frozen=True)
+class LoadSpike:
+    """One injected load spike: hold ``load`` for ``duration_s`` seconds.
+
+    Args:
+        at_s: spike start time (simulated seconds).
+        duration_s: how long the spike holds.
+        load: offered load during the spike, in [0, 1].
+    """
+
+    at_s: float
+    duration_s: float
+    load: float
+
+    def __post_init__(self):
+        if self.at_s < 0:
+            raise ValueError("spike start must be >= 0")
+        if self.duration_s <= 0:
+            raise ValueError("spike duration must be positive")
+        if not 0.0 <= self.load <= 1.0:
+            raise ValueError("spike load must be in [0, 1]")
+
+    def active(self, t_s: float) -> bool:
+        """True while the spike holds at time ``t_s``."""
+        return self.at_s <= t_s < self.at_s + self.duration_s
+
+
+@dataclass
+class SpikeOverlay(LoadTrace):
+    """A base trace with load spikes injected at fixed timestamps.
+
+    During a spike the offered load is ``max(base, spike.load)`` — a
+    traffic surge lifts demand, it never sheds it.  Overlapping spikes
+    take the highest spike load.  This is the scenario layer's
+    load-spike injection primitive; any :class:`LoadTrace` can be the
+    base.
+    """
+
+    base: LoadTrace
+    spikes: Sequence[LoadSpike]
+
+    def __post_init__(self):
+        if not self.spikes:
+            raise ValueError("need at least one spike (or drop the overlay)")
+        self.spikes = tuple(self.spikes)
+
+    def load_at(self, t_s: float) -> float:
+        """Base load lifted to the highest spike active at ``t_s``."""
+        load = self.base.load_at(t_s)
+        for spike in self.spikes:
+            if spike.active(t_s):
+                load = max(load, spike.load)
+        return load
+
+
 def websearch_cluster_trace(seed: int = 7,
                             noise_sigma: float = 0.02) -> DiurnalTrace:
     """The §5.3 12-hour cluster trace: diurnal 20%-90% swing."""

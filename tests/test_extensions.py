@@ -130,3 +130,32 @@ class TestCli:
         from repro.cli import main
         with pytest.raises(SystemExit):
             main(["nope"])
+
+    def test_jobs_warns_for_serial_experiments(self, capsys):
+        # fig1/fig3/fig7/tco/quickstart run a fixed serial pipeline;
+        # --jobs must say so instead of being silently ignored.
+        from repro.cli import main
+        with pytest.warns(UserWarning, match="--jobs has no effect"):
+            assert main(["tco", "--jobs", "4"]) == 0
+        capsys.readouterr()
+
+    def test_jobs_accepted_for_sweeps_without_warning(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(["fig4", "--jobs", "2"])
+        assert args.jobs == 2
+        args = build_parser().parse_args(["scenario", "fig4", "-j", "3"])
+        assert args.jobs == 3
+
+    def test_quickstart_seed_passthrough(self, capsys):
+        from repro.cli import main
+        assert main(["quickstart", "--seed", "7"]) == 0
+        out_a = capsys.readouterr().out
+        assert main(["quickstart", "--seed", "7"]) == 0
+        out_b = capsys.readouterr().out
+        assert out_a == out_b  # deterministic for a pinned seed
+        assert "EMU" in out_a
+
+    def test_jobs_rejects_nonpositive(self):
+        from repro.cli import main
+        with pytest.raises(SystemExit, match="jobs"):
+            main(["fig4", "--jobs", "0"])

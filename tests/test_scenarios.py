@@ -1,0 +1,524 @@
+"""Tests for the declarative scenario subsystem.
+
+Covers the load → validate → compile round trip, unknown-field and
+invalid-value rejection, the YAML-subset parser (including equivalence
+with PyYAML where available), injection/spike semantics, the example
+spec files, and the golden-parity guarantee that the fig4 scenario
+reproduces the hand-wired sweep numbers.
+"""
+
+import dataclasses
+import glob
+import os
+
+import pytest
+
+from repro.scenarios import (ClusterSpec, ScenarioError, ScenarioSpec,
+                             ServerSpec, SweepSpec, TraceSpec, WorkloadSpec,
+                             compile_scenario, load_scenario, loads_scenario,
+                             parse_simple_yaml, registry, run_scenario)
+from repro.scenarios.library import fig4_scenario, fig8_scenario
+from repro.sim.batch import BatchColocationSim
+from repro.sim.engine import ColocationSim
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), os.pardir, "examples",
+                        "scenarios")
+
+
+class TestSpecRoundTrip:
+    def test_minimal_member_scenario(self):
+        spec = load_scenario({
+            "name": "t", "members": [{"lc": "websearch", "be": "brain"}]})
+        assert spec.controller == "heracles"
+        assert spec.members[0].trace.kind == "constant"
+        assert spec.member_seed(0) == 0
+
+    def test_member_seed_derivation(self):
+        spec = load_scenario({
+            "name": "t", "seed": 10,
+            "members": [{"lc": "websearch"},
+                        {"lc": "websearch", "seed": 99}]})
+        assert spec.member_seed(0) == 10
+        assert spec.member_seed(1) == 99
+
+    def test_member_controller_override(self):
+        spec = load_scenario({
+            "name": "t", "controller": "none",
+            "members": [{"lc": "websearch", "be": "brain",
+                         "controller": "static-conservative"},
+                        {"lc": "memkeyval"}]})
+        assert spec.member_controller(0) == "static-conservative"
+        assert spec.member_controller(1) == "none"
+
+    def test_server_overrides_compose(self):
+        spec = load_scenario({
+            "name": "t", "server": {"sockets": 1, "link_gbps": 40.0},
+            "members": [{"lc": "websearch"}]})
+        machine = spec.server.to_machine_spec()
+        assert machine.sockets == 1
+        assert machine.nic.link_gbps == 40.0
+        # Untouched fields keep the paper's defaults.
+        assert machine.socket.cores == 18
+
+    def test_full_tree_from_dict(self):
+        spec = load_scenario({
+            "name": "t", "duration_s": 120, "warmup_s": 30, "seed": 2,
+            "members": [{
+                "lc": "websearch", "be": "stream-DRAM",
+                "trace": {"kind": "diurnal", "low": 0.1, "high": 0.9,
+                          "period_s": 600,
+                          "spikes": [{"at_s": 60, "duration_s": 30,
+                                      "load": 0.95}]}}],
+            "injections": [{"at_s": 10, "action": "enable_be"},
+                           {"at_s": 10, "action": "set_be_cores",
+                            "value": 4}]})
+        assert spec.members[0].trace.spikes[0].load == 0.95
+        assert spec.injections[1].value == 4
+
+
+class TestSpecRejection:
+    def test_unknown_scenario_field(self):
+        with pytest.raises(ScenarioError, match="unknown field.*'colour'"):
+            load_scenario({"name": "t", "colour": "red",
+                           "members": [{"lc": "websearch"}]})
+
+    def test_unknown_member_field(self):
+        with pytest.raises(ScenarioError, match=r"members\[0\].*'cpus'"):
+            load_scenario({"name": "t",
+                           "members": [{"lc": "websearch", "cpus": 4}]})
+
+    def test_unknown_trace_field_for_kind(self):
+        # 'low' belongs to diurnal traces, not constant ones.
+        with pytest.raises(ScenarioError, match="'low'"):
+            load_scenario({"name": "t", "members": [
+                {"lc": "websearch",
+                 "trace": {"kind": "constant", "low": 0.2}}]})
+
+    def test_unknown_trace_kind(self):
+        with pytest.raises(ScenarioError, match="unknown trace kind"):
+            load_scenario({"name": "t", "members": [
+                {"lc": "websearch", "trace": {"kind": "sawtooth"}}]})
+
+    def test_unknown_lc_and_be(self):
+        with pytest.raises(ScenarioError, match="unknown LC workload"):
+            load_scenario({"name": "t", "members": [{"lc": "nope"}]})
+        with pytest.raises(ScenarioError, match="unknown BE workload"):
+            load_scenario({"name": "t", "members": [
+                {"lc": "websearch", "be": "nope"}]})
+
+    def test_invalid_load_value(self):
+        with pytest.raises(ScenarioError, match="load must be in"):
+            load_scenario({"name": "t", "members": [
+                {"lc": "websearch",
+                 "trace": {"kind": "constant", "load": 1.5}}]})
+
+    def test_invalid_controller_and_engine(self):
+        with pytest.raises(ScenarioError, match="unknown controller"):
+            load_scenario({"name": "t", "controller": "magic",
+                           "members": [{"lc": "websearch"}]})
+        with pytest.raises(ScenarioError, match="unknown engine"):
+            load_scenario({"name": "t", "engine": "gpu",
+                           "members": [{"lc": "websearch"}]})
+
+    def test_shape_must_be_unique(self):
+        with pytest.raises(ScenarioError, match="exactly one of"):
+            load_scenario({"name": "t"})
+        with pytest.raises(ScenarioError, match="exactly one of"):
+            load_scenario({"name": "t",
+                           "members": [{"lc": "websearch"}],
+                           "sweep": {"lc_tasks": ["websearch"]}})
+
+    def test_warmup_must_fit_duration(self):
+        with pytest.raises(ScenarioError, match="warmup_s"):
+            load_scenario({"name": "t", "duration_s": 100, "warmup_s": 100,
+                           "members": [{"lc": "websearch"}]})
+
+    def test_scalar_engine_rejects_multiple_members(self):
+        with pytest.raises(ScenarioError, match="scalar engine"):
+            load_scenario({"name": "t", "engine": "scalar",
+                           "members": [{"lc": "websearch"},
+                                       {"lc": "websearch"}]})
+
+    def test_injection_validation(self):
+        with pytest.raises(ScenarioError, match="requires a 'value'"):
+            load_scenario({"name": "t", "members": [{"lc": "websearch"}],
+                           "injections": [{"at_s": 1,
+                                           "action": "set_be_cores"}]})
+        with pytest.raises(ScenarioError, match="takes no 'value'"):
+            load_scenario({"name": "t", "members": [{"lc": "websearch"}],
+                           "injections": [{"at_s": 1, "action": "enable_be",
+                                           "value": 2}]})
+        with pytest.raises(ScenarioError, match="unknown action"):
+            load_scenario({"name": "t", "members": [{"lc": "websearch"}],
+                           "injections": [{"at_s": 1, "action": "explode"}]})
+
+    def test_bad_server_override(self):
+        with pytest.raises(ScenarioError, match="invalid hardware"):
+            load_scenario({"name": "t", "server": {"llc_ways": 1},
+                           "members": [{"lc": "websearch"}]})
+
+    def test_sweep_rejects_ignored_fields(self):
+        # dt_s and a top-level engine would be silently ignored by the
+        # sweep/cluster lowering paths — the spec rejects them instead.
+        with pytest.raises(ScenarioError, match="dt_s"):
+            load_scenario({"name": "t", "dt_s": 0.25,
+                           "sweep": {"lc_tasks": ["websearch"]}})
+        with pytest.raises(ScenarioError, match="engine"):
+            load_scenario({"name": "t", "engine": "batch",
+                           "sweep": {"lc_tasks": ["websearch"]}})
+        with pytest.raises(ScenarioError, match="cluster.engine"):
+            load_scenario({"name": "t", "engine": "scalar",
+                           "cluster": {"leaves": 2}})
+
+    def test_type_errors(self):
+        with pytest.raises(ScenarioError, match="expected an integer"):
+            load_scenario({"name": "t", "seed": 1.5,
+                           "members": [{"lc": "websearch"}]})
+        with pytest.raises(ScenarioError, match="expected a number"):
+            load_scenario({"name": "t", "duration_s": "long",
+                           "members": [{"lc": "websearch"}]})
+
+
+SAMPLE_YAML = """
+# comment
+name: sample            # trailing comment
+engine: batch
+duration_s: 120
+warmup_s: 30
+server:
+  link_gbps: 40.0
+members:
+  - lc: websearch
+    be: brain
+    trace:
+      kind: diurnal
+      low: 0.2
+      high: 0.8
+      period_s: 600
+      spikes:
+        - {at_s: 20, duration_s: 10, load: 0.95}
+  - lc: memkeyval
+    be: iperf
+    trace: {kind: constant, load: 0.4}
+injections:
+  - at_s: 15
+    action: enable_be
+"""
+
+
+class TestYamlSubsetParser:
+    def test_structures(self):
+        data = parse_simple_yaml(SAMPLE_YAML)
+        assert data["name"] == "sample"
+        assert data["server"] == {"link_gbps": 40.0}
+        assert data["members"][0]["trace"]["spikes"] == [
+            {"at_s": 20, "duration_s": 10, "load": 0.95}]
+        assert data["members"][1]["trace"] == {"kind": "constant",
+                                               "load": 0.4}
+        assert data["injections"] == [{"at_s": 15, "action": "enable_be"}]
+
+    def test_scalars(self):
+        data = parse_simple_yaml(
+            "a: true\nb: false\nc: null\nd: 3\ne: 3.5\nf: 'x y'\ng: plain\n"
+            "h: [1, 2.5, yes]\n")
+        assert data == {"a": True, "b": False, "c": None, "d": 3, "e": 3.5,
+                        "f": "x y", "g": "plain", "h": [1, 2.5, "yes"]}
+
+    def test_matches_pyyaml(self):
+        yaml = pytest.importorskip("yaml")
+        for path in sorted(glob.glob(os.path.join(EXAMPLES, "*.yaml"))):
+            with open(path) as handle:
+                text = handle.read()
+            assert parse_simple_yaml(text) == yaml.safe_load(text), path
+        assert parse_simple_yaml(SAMPLE_YAML) == yaml.safe_load(SAMPLE_YAML)
+
+    def test_rejects_tabs_and_mixed_levels(self):
+        with pytest.raises(ScenarioError, match="tabs"):
+            parse_simple_yaml("a:\n\tb: 1\n")
+        with pytest.raises(ScenarioError, match="cannot mix"):
+            parse_simple_yaml("- a\nb: 1\n")
+
+    def test_rejects_unterminated_flow(self):
+        with pytest.raises(ScenarioError, match="unterminated"):
+            parse_simple_yaml("a: [1, 2\n")
+
+
+class TestLoader:
+    def test_yaml_and_json_files(self, tmp_path):
+        yml = tmp_path / "s.yaml"
+        yml.write_text("name: y\nmembers:\n  - lc: websearch\n")
+        assert load_scenario(yml).name == "y"
+        jsn = tmp_path / "s.json"
+        jsn.write_text('{"name": "j", "members": [{"lc": "websearch"}]}')
+        assert load_scenario(jsn).name == "j"
+
+    def test_bad_extension_and_missing_file(self, tmp_path):
+        with pytest.raises(ScenarioError, match="extension"):
+            load_scenario(tmp_path / "s.toml")
+        with pytest.raises(ScenarioError, match="cannot read"):
+            load_scenario(tmp_path / "absent.yaml")
+
+    def test_invalid_json(self):
+        with pytest.raises(ScenarioError, match="invalid JSON"):
+            loads_scenario("{nope", fmt="json")
+
+
+class TestRegistry:
+    def test_shipped_scenarios_present(self):
+        names = registry.names()
+        for expected in ("fig4", "fig8", "mixed-fleet", "diurnal-spike"):
+            assert expected in names
+        for name in names:
+            spec = registry.get(name)
+            spec.validate()
+            assert registry.description(name)
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ScenarioError, match="registered scenarios"):
+            registry.get("nope")
+
+    def test_description_falls_back_to_spec(self):
+        from repro.scenarios.registry import (_DESCRIPTIONS, _REGISTRY,
+                                              register)
+        from repro.scenarios.spec import ScenarioSpec, WorkloadSpec
+        register("tmp-desc-test", lambda: ScenarioSpec(
+            name="tmp-desc-test", description="from the spec",
+            members=(WorkloadSpec(lc="websearch"),)))
+        try:
+            assert registry.description("tmp-desc-test") == "from the spec"
+        finally:
+            _REGISTRY.pop("tmp-desc-test")
+            _DESCRIPTIONS.pop("tmp-desc-test")
+
+
+class TestCompiler:
+    def test_single_member_lowers_to_scalar(self):
+        spec = load_scenario({
+            "name": "t", "duration_s": 60, "warmup_s": 10,
+            "members": [{"lc": "websearch", "be": "brain"}]})
+        compiled = compile_scenario(spec)
+        assert compiled.kind == "single"
+        sim = compiled.build()
+        assert isinstance(sim, ColocationSim)
+        assert sim.controller is not None  # Heracles attached
+
+    def test_multi_member_lowers_to_batch(self):
+        spec = registry.get("mixed-fleet")
+        spec = dataclasses.replace(spec, duration_s=60.0, warmup_s=20.0)
+        compiled = compile_scenario(spec)
+        assert compiled.kind == "batch"
+        sim = compiled.build()
+        assert isinstance(sim, BatchColocationSim)
+        assert sim.n == 3
+        result = compiled.run()
+        assert len(result.members) == 3
+        assert all(len(m.history) == 60 for m in result.members)
+        assert "memkeyval" in result.render()
+
+    def test_sweep_scenario_rejects_build(self):
+        compiled = compile_scenario(fig4_scenario(loads=(0.5,)))
+        assert compiled.kind == "sweep"
+        with pytest.raises(ScenarioError, match="runner grid"):
+            compiled.build()
+
+    def test_controller_none_leaves_be_disabled(self):
+        spec = load_scenario({
+            "name": "t", "controller": "none", "duration_s": 30,
+            "warmup_s": 0,
+            "members": [{"lc": "websearch", "be": "brain"}]})
+        result = run_scenario(spec)
+        assert result.members[0].mean_be_throughput() == 0.0
+
+    def test_static_baseline_controller(self):
+        spec = load_scenario({
+            "name": "t", "controller": "static-conservative",
+            "duration_s": 30, "warmup_s": 0,
+            "members": [{"lc": "websearch", "be": "brain"}]})
+        sim = compile_scenario(spec).build()
+        sim.run(30)
+        assert sim.actuators.be_cores == 2  # the conservative grant
+
+    def test_injections_fire_at_time(self):
+        spec = load_scenario({
+            "name": "t", "controller": "none", "duration_s": 40,
+            "warmup_s": 0,
+            "members": [{"lc": "memkeyval", "be": "stream-DRAM"}],
+            "injections": [{"at_s": 20, "action": "enable_be"},
+                           {"at_s": 20, "action": "set_be_cores",
+                            "value": 6}]})
+        compiled = compile_scenario(spec)
+        sim = compiled.build()
+        history = sim.run(40)
+        cores = history.column("be_cores")
+        assert all(c == 0 for c in cores[:20])
+        # Actuation lands after the controller step at t=20.
+        assert all(c == 6 for c in cores[22:])
+
+    def test_spike_overlay_changes_offered_load(self):
+        spec = load_scenario({
+            "name": "t", "controller": "none", "duration_s": 30,
+            "warmup_s": 0,
+            "members": [{
+                "lc": "websearch",
+                "trace": {"kind": "constant", "load": 0.3,
+                          "spikes": [{"at_s": 10, "duration_s": 5,
+                                      "load": 0.9}]}}]})
+        history = run_scenario(spec).members[0].history
+        loads = history.column("load")
+        assert loads[5] == pytest.approx(0.3)
+        assert loads[12] == pytest.approx(0.9)
+        assert loads[20] == pytest.approx(0.3)
+
+    def test_seed_override_changes_trajectory(self):
+        base = load_scenario({
+            "name": "t", "duration_s": 60, "warmup_s": 0,
+            "members": [{"lc": "websearch", "be": "brain"}]})
+        a = run_scenario(base).members[0].history
+        b = run_scenario(dataclasses.replace(base, seed=123)).members[0]\
+            .history
+        assert a.column("tail_latency_ms")[5] != \
+            b.column("tail_latency_ms")[5]
+
+
+class TestGoldenParity:
+    """The fig4 scenario reproduces the hand-wired fig4 numbers."""
+
+    def test_fig4_scenario_matches_hand_wired(self):
+        from repro.experiments.common import baseline_cell, colocation_sweep
+        from repro.hardware.spec import default_machine_spec
+        from repro.workloads.latency_critical import make_lc_workload
+
+        loads = (0.3, 0.7)
+        scenario = fig4_scenario(lc_tasks=("websearch",),
+                                 be_tasks=("brain",), loads=loads,
+                                 duration_s=300.0)
+        grid = compile_scenario(scenario).run(processes=1).sweeps[
+            "websearch"]
+
+        machine = default_machine_spec()
+        hand = colocation_sweep("websearch", ("brain",), loads,
+                                duration_s=300.0, spec=machine, seed=0,
+                                processes=1)
+        lc = make_lc_workload("websearch", machine)
+        hand_baseline = [baseline_cell(lc, load, machine) for load in loads]
+
+        for ours, theirs in zip(grid.results["brain"], hand["brain"]):
+            assert ours.max_slo_fraction == pytest.approx(
+                theirs.max_slo_fraction, abs=1e-6)
+            assert ours.mean_emu == pytest.approx(theirs.mean_emu, abs=1e-6)
+            assert ours.history.worst_window_slo(skip_s=240.0) == \
+                pytest.approx(theirs.history.worst_window_slo(skip_s=240.0),
+                              abs=1e-6)
+        for ours, theirs in zip(grid.baseline_slo, hand_baseline):
+            assert ours == pytest.approx(theirs, abs=1e-6)
+
+    def test_fig8_scenario_matches_hand_wired_arm(self):
+        from repro.cluster.cluster import WebsearchCluster
+        from repro.workloads.traces import DiurnalTrace
+
+        scenario = fig8_scenario(leaves=2, duration_s=600.0 * 72,
+                                 time_compression=72.0, seed=3)
+        result = compile_scenario(scenario).run(processes=1)
+        trace = DiurnalTrace(low=0.20, high=0.90, period_s=600.0,
+                             noise_sigma=0.02, seed=3)
+        cluster = WebsearchCluster(leaves=2, trace=trace, seed=3,
+                                   engine="batch")
+        history = cluster.run(600.0)
+        assert result.cluster_arms["managed"].mean_emu() == pytest.approx(
+            history.mean_emu(), abs=1e-6)
+        assert result.root_slo_ms == pytest.approx(cluster.root_slo_ms,
+                                                   abs=1e-6)
+
+
+class TestExampleSpecs:
+    def test_all_examples_load_and_validate(self):
+        paths = sorted(glob.glob(os.path.join(EXAMPLES, "*")))
+        assert len(paths) >= 3
+        for path in paths:
+            spec = load_scenario(path)
+            spec.validate()
+
+    def test_novel_mix_runs_through_batched_backend(self):
+        spec = load_scenario(os.path.join(EXAMPLES,
+                                          "three_way_be_mix.yaml"))
+        spec = dataclasses.replace(spec, duration_s=60.0, warmup_s=20.0)
+        compiled = compile_scenario(spec)
+        assert compiled.kind == "batch"
+        result = compiled.run()
+        assert {m.lc for m in result.members} == {"websearch", "memkeyval"}
+        assert all(m.mean_emu() > 0 for m in result.members)
+
+    def test_injection_example_runs(self):
+        spec = load_scenario(os.path.join(EXAMPLES, "late_antagonist.json"))
+        spec = dataclasses.replace(spec, duration_s=400.0, warmup_s=50.0)
+        history = run_scenario(spec).members[0].history
+        cores = history.column("be_cores")
+        assert cores[100] == 0 and cores[320] == 8
+
+
+class TestCliScenario:
+    def test_list(self, capsys):
+        from repro.cli import main
+        assert main(["scenario", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "mixed-fleet" in out
+
+    def test_run_spec_file(self, tmp_path, capsys):
+        from repro.cli import main
+        path = tmp_path / "mini.yaml"
+        path.write_text(
+            "name: mini\nduration_s: 30\nwarmup_s: 5\n"
+            "members:\n  - lc: websearch\n    be: brain\n"
+            "    trace: {kind: constant, load: 0.4}\n")
+        assert main(["scenario", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "scenario mini" in out and "websearch" in out
+
+    def test_registry_name_wins_over_cwd_entry(self, tmp_path,
+                                               monkeypatch, capsys):
+        # A stray directory named like a registered scenario must not
+        # shadow the registry lookup (it previously made the CLI exit
+        # with "unsupported spec file extension").
+        from repro.cli import main
+        from repro.scenarios.registry import (_DESCRIPTIONS, _REGISTRY,
+                                              register)
+        from repro.scenarios.spec import ScenarioSpec, TraceSpec, \
+            WorkloadSpec
+        register("tmp-cli-test", lambda: ScenarioSpec(
+            name="tmp-cli-test", duration_s=20.0, warmup_s=5.0,
+            controller="none",
+            members=(WorkloadSpec(lc="websearch",
+                                  trace=TraceSpec(load=0.3)),)),
+            "cli shadow test")
+        (tmp_path / "tmp-cli-test").mkdir()
+        monkeypatch.chdir(tmp_path)
+        try:
+            assert main(["scenario", "tmp-cli-test"]) == 0
+            assert "tmp-cli-test" in capsys.readouterr().out
+        finally:
+            _REGISTRY.pop("tmp-cli-test")
+            _DESCRIPTIONS.pop("tmp-cli-test")
+
+    def test_unknown_scenario_exits(self):
+        from repro.cli import main
+        with pytest.raises(SystemExit, match="registered scenarios"):
+            main(["scenario", "nope"])
+
+    def test_missing_argument_exits(self):
+        from repro.cli import main
+        with pytest.raises(SystemExit, match="registered name"):
+            main(["scenario"])
+
+    def test_seed_override(self, capsys):
+        from repro.cli import main
+        spec_dict = ("name: s\nduration_s: 30\nwarmup_s: 5\n"
+                     "members:\n  - lc: websearch\n    be: brain\n")
+        import tempfile
+        with tempfile.NamedTemporaryFile("w", suffix=".yaml",
+                                         delete=False) as handle:
+            handle.write(spec_dict)
+            path = handle.name
+        try:
+            assert main(["scenario", path, "--seed", "9"]) == 0
+        finally:
+            os.unlink(path)

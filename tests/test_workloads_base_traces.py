@@ -172,3 +172,35 @@ class TestHelpers:
         assert trace.low == pytest.approx(0.20)
         assert trace.high == pytest.approx(0.90)
         assert trace.period_s == pytest.approx(12 * 3600)
+
+
+class TestSpikeOverlay:
+    def test_spike_lifts_but_never_sheds(self):
+        from repro.workloads.traces import LoadSpike, SpikeOverlay
+        trace = SpikeOverlay(ConstantLoad(0.6),
+                             [LoadSpike(at_s=10, duration_s=5, load=0.9),
+                              LoadSpike(at_s=12, duration_s=1, load=0.3)])
+        assert trace.load_at(5) == pytest.approx(0.6)
+        assert trace.load_at(10) == pytest.approx(0.9)
+        assert trace.load_at(12) == pytest.approx(0.9)  # max wins
+        assert trace.load_at(14.999) == pytest.approx(0.9)
+        assert trace.load_at(15) == pytest.approx(0.6)
+
+    def test_overlay_wraps_any_base(self):
+        from repro.workloads.traces import LoadSpike, SpikeOverlay
+        base = StepLoad(times_s=[0, 20], loads=[0.2, 0.8])
+        trace = SpikeOverlay(base, [LoadSpike(5, 10, 0.5)])
+        assert trace.load_at(0) == pytest.approx(0.2)
+        assert trace.load_at(7) == pytest.approx(0.5)
+        assert trace.load_at(25) == pytest.approx(0.8)  # base above spike
+
+    def test_validation(self):
+        from repro.workloads.traces import LoadSpike, SpikeOverlay
+        with pytest.raises(ValueError):
+            LoadSpike(at_s=-1, duration_s=5, load=0.5)
+        with pytest.raises(ValueError):
+            LoadSpike(at_s=0, duration_s=0, load=0.5)
+        with pytest.raises(ValueError):
+            LoadSpike(at_s=0, duration_s=5, load=1.5)
+        with pytest.raises(ValueError):
+            SpikeOverlay(ConstantLoad(0.5), [])

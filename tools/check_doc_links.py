@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Check that relative links in markdown docs point at real files.
+
+Usage: ``python tools/check_doc_links.py README.md docs/*.md``
+
+Scans ``[text](target)`` markdown links; external schemes (http/https/
+mailto) and pure in-page anchors are skipped, everything else must
+resolve — relative to the linking file — to an existing file or
+directory.  Exits non-zero listing every broken link.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import List, Tuple
+
+#: [text](target) with no nested brackets; good enough for our docs.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def broken_links(path: str) -> List[Tuple[int, str]]:
+    """Return (line_number, target) for every dangling link in ``path``."""
+    base = os.path.dirname(os.path.abspath(path))
+    broken = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(SKIP_PREFIXES):
+                    continue
+                local = target.split("#", 1)[0]
+                if not local:
+                    continue
+                if not os.path.exists(os.path.join(base, local)):
+                    broken.append((number, target))
+    return broken
+
+
+def main(argv: List[str]) -> int:
+    """Check every file in ``argv``; print and count broken links."""
+    if not argv:
+        print("usage: check_doc_links.py FILE [FILE...]", file=sys.stderr)
+        return 2
+    failures = 0
+    for path in argv:
+        for number, target in broken_links(path):
+            print(f"{path}:{number}: broken link -> {target}",
+                  file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"{failures} broken link(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
