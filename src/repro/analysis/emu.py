@@ -11,7 +11,9 @@ shared resources."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Iterable, Sequence
+
+from ..metrics.windows import sample_mean
 
 
 def effective_machine_utilization(lc_throughput: float,
@@ -38,10 +40,16 @@ class EmuSummary:
 
     @classmethod
     def from_series(cls, values: Sequence[float]) -> "EmuSummary":
+        """Summarize an EMU series (any sequence, NumPy columns included).
+
+        Columnar histories hand their ``column("emu")`` views straight
+        in; the values are materialized once and summarized through the
+        shared metric helpers.
+        """
+        values = [float(v) for v in values]
         if not values:
             raise ValueError("need at least one EMU sample")
-        values = list(values)
-        return cls(mean=sum(values) / len(values),
+        return cls(mean=sample_mean(values),
                    minimum=min(values),
                    maximum=max(values))
 
@@ -49,7 +57,7 @@ class EmuSummary:
 def cluster_emu(per_leaf_emu: Iterable[float]) -> float:
     """Cluster-level EMU: the average across leaves (each leaf is one
     server; the cluster's effective utilization is the mean)."""
-    values = list(per_leaf_emu)
+    values = [float(v) for v in per_leaf_emu]
     if not values:
         raise ValueError("need at least one leaf")
-    return sum(values) / len(values)
+    return sample_mean(values)

@@ -21,12 +21,13 @@ both produce numerically identical cluster metrics for the same seed
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
 
 from ..core.config import HeraclesConfig
+from ..metrics.history import ColumnarHistory
 from ..core.controller import HeraclesController
 from ..core.dram_model import profile_lc_dram_model
 from ..hardware.spec import MachineSpec, default_machine_spec
@@ -49,24 +50,31 @@ class ClusterRecord:
     emu: float
 
 
-@dataclass
-class ClusterHistory:
-    records: List[ClusterRecord] = field(default_factory=list)
+class ClusterHistory(ColumnarHistory):
+    """Columnar record of cluster-level observables over a run.
 
-    def column(self, name: str) -> np.ndarray:
-        return np.array([getattr(r, name) for r in self.records])
+    Same storage and metric stack as the per-server histories (see
+    :mod:`repro.metrics`): one NumPy column per :class:`ClusterRecord`
+    field, record materialization on demand, and the cluster's
+    reporting aggregates routed through the shared
+    :class:`~repro.metrics.windows.WindowedMetrics` implementation —
+    which derives cadence from the records' explicit timestamps, never
+    from an assumed 1-second tick.
+    """
+
+    RECORD_TYPE = ClusterRecord
 
     def max_root_slo_fraction(self, skip_s: float = 0.0) -> float:
-        vals = [r.root_slo_fraction for r in self.records if r.t_s >= skip_s]
-        return max(vals) if vals else 0.0
+        """Worst recorded root SLO fraction after ``skip_s`` seconds."""
+        return self.metrics.maximum("root_slo_fraction", skip_s=skip_s)
 
     def mean_emu(self, skip_s: float = 0.0) -> float:
-        vals = [r.emu for r in self.records if r.t_s >= skip_s]
-        return float(np.mean(vals)) if vals else 0.0
+        """Mean cluster EMU after ``skip_s`` seconds."""
+        return self.metrics.mean("emu", skip_s=skip_s)
 
     def min_emu(self, skip_s: float = 0.0) -> float:
-        vals = [r.emu for r in self.records if r.t_s >= skip_s]
-        return min(vals) if vals else 0.0
+        """Minimum cluster EMU after ``skip_s`` seconds."""
+        return self.metrics.minimum("emu", skip_s=skip_s)
 
 
 class WebsearchCluster:
@@ -190,7 +198,7 @@ class WebsearchCluster:
         record_every = max(1, int(round(self.record_period_s / dt_s)))
         if self._tick_index % record_every == 0:
             windowed = self.root.windowed_latency_ms()
-            self.history.records.append(ClusterRecord(
+            self.history.append(ClusterRecord(
                 t_s=self.time_s,
                 load=self.trace.clipped(self.time_s),
                 root_latency_ms=windowed,

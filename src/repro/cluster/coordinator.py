@@ -92,10 +92,21 @@ class CoordinatedWebsearchCluster:
             root_slo_ms=self.cluster.root_slo_ms,
             base_leaf_slo_ms=self.cluster.leaf_slo_ms)
 
-    def run(self, duration_s: float):
+    def run(self, duration_s: float, dt_s: float = 1.0):
+        """Run the coordinated cluster for ``duration_s`` seconds.
+
+        The step count derives from the tick size — ``duration_s /
+        dt_s`` ticks, like every other ``run()`` — so coordinated runs
+        simulate the requested duration and step targets at the right
+        cadence for any ``dt_s`` (the historical loop hardcoded
+        1-second ticks and truncated fractional durations).
+        """
+        if dt_s <= 0:
+            raise ValueError("dt must be positive")
         cluster = self.cluster
-        for _ in range(int(duration_s)):
-            cluster.tick()
+        steps = int(round(duration_s / dt_s))
+        for _ in range(steps):
+            cluster.tick(dt_s)
             try:
                 root_latency = cluster.root.windowed_latency_ms()
             except ValueError:

@@ -1,0 +1,31 @@
+"""Columnar telemetry subsystem.
+
+One recording and reporting stack for every execution layer:
+
+* :mod:`repro.metrics.columns` — :class:`ColumnStore` (preallocated,
+  geometrically-grown NumPy columns, O(1) amortized appends, zero-copy
+  views) and :class:`BatchColumnStore` ((T, N) member-major columns so
+  batched engines record whole ticks with one vectorized write);
+* :mod:`repro.metrics.windows` — the single implementation of the
+  paper's windowed aggregates (worst 60-second SLO window, mean EMU,
+  steady-state means) over explicit per-sample timestamps;
+* :mod:`repro.metrics.history` — adapters that keep the engines'
+  historical list-of-records API intact on top of the columns.
+
+``SimHistory``, ``BatchHistory`` and ``ClusterHistory`` are all thin
+facades over this package; see ``docs/architecture.md`` ("Telemetry &
+metrics") for the layout and the dt-correctness contract.
+"""
+
+from .columns import BatchColumnStore, ColumnStore
+from .history import BatchMemberSeries, ColumnarHistory, RecordSeries
+from .windows import (WindowedMetrics, derive_dt_s, max_after, mean_after,
+                      min_after, sample_mean, window_width,
+                      worst_window_mean)
+
+__all__ = [
+    "BatchColumnStore", "ColumnStore",
+    "BatchMemberSeries", "ColumnarHistory", "RecordSeries",
+    "WindowedMetrics", "derive_dt_s", "max_after", "mean_after",
+    "min_after", "sample_mean", "window_width", "worst_window_mean",
+]

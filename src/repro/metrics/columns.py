@@ -1,0 +1,215 @@
+"""Columnar tick storage: preallocated, geometrically-grown arrays.
+
+The recording layer used to keep one Python object per tick (lists of
+dataclasses), which costs ~700 bytes per record and forces every
+aggregate metric to rebuild a NumPy array with an O(T) attribute scan.
+:class:`ColumnStore` inverts the layout: one preallocated NumPy array
+per field, doubled in place when full, so appends are O(1) amortized
+and :meth:`ColumnStore.column` hands back a zero-copy view that
+vectorized metrics consume directly.
+
+:class:`BatchColumnStore` extends the layout to batched engines: every
+per-member field is a ``(capacity, N)`` member-major array, so a batch
+of N servers records a whole tick with one vectorized row write instead
+of N dataclass constructions.  Time is stored once (all members share
+the batch clock), as an ordinary ``(capacity,)`` column.
+
+Dtype policy: float-valued fields are stored as ``float64`` exactly as
+produced (summaries stay bit-identical with the list-of-records
+implementation they replaced); optional fields encode ``None`` as NaN;
+counts and flags may use narrow integer/bool dtypes to keep history
+memory flat — :meth:`ColumnStore.column` up-casts those to ``float64``
+on read, which is the dtype the old ``column()`` API always returned.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple, Union
+
+import numpy as np
+
+#: Field specification: name -> NumPy dtype (anything np.dtype accepts).
+FieldSpec = Union[Mapping[str, object], Iterable[Tuple[str, object]]]
+
+#: Initial per-column capacity (rows) before the first geometric growth.
+INITIAL_CAPACITY = 256
+
+
+def _normalize_fields(fields: FieldSpec) -> Dict[str, np.dtype]:
+    """Validate and normalize a field spec into ``{name: dtype}``."""
+    if isinstance(fields, Mapping):
+        pairs = list(fields.items())
+    else:
+        pairs = [(name, dtype) for name, dtype in fields]
+    if not pairs:
+        raise ValueError("a column store needs at least one field")
+    out: Dict[str, np.dtype] = {}
+    for name, dtype in pairs:
+        if name in out:
+            raise ValueError(f"duplicate field {name!r}")
+        out[name] = np.dtype(dtype)
+    return out
+
+
+class ColumnStore:
+    """One growable NumPy column per field; O(1) amortized row appends.
+
+    Args:
+        fields: mapping (or pairs) of field name to dtype.
+        capacity: initial row capacity (grown geometrically as needed).
+    """
+
+    def __init__(self, fields: FieldSpec,
+                 capacity: int = INITIAL_CAPACITY):
+        self._dtypes = _normalize_fields(fields)
+        self._capacity = max(1, int(capacity))
+        self._length = 0
+        self._data: Dict[str, np.ndarray] = {
+            name: np.empty(self._shape_of(name, self._capacity),
+                           dtype=dtype)
+            for name, dtype in self._dtypes.items()
+        }
+
+    # -- layout hooks (overridden by BatchColumnStore) -----------------
+
+    def _shape_of(self, name: str, rows: int):
+        """Allocation shape for ``rows`` of the named column."""
+        return (rows,)
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def fields(self) -> Tuple[str, ...]:
+        """The stored field names, in declaration order."""
+        return tuple(self._dtypes)
+
+    @property
+    def capacity(self) -> int:
+        """Currently allocated row capacity."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        """Number of recorded rows."""
+        return self._length
+
+    def __contains__(self, name: str) -> bool:
+        """True when ``name`` is a stored field."""
+        return name in self._dtypes
+
+    def nbytes(self, allocated: bool = False) -> int:
+        """History bytes held by the columns.
+
+        Args:
+            allocated: count the full preallocated capacity instead of
+                only the rows recorded so far.
+        """
+        if allocated:
+            return sum(a.nbytes for a in self._data.values())
+        if self._capacity == 0:
+            return 0
+        return sum(a.nbytes * self._length // self._capacity
+                   for a in self._data.values())
+
+    # -- writes ---------------------------------------------------------
+
+    def _grow_to(self, rows: int) -> None:
+        """Ensure capacity for ``rows`` total rows (geometric doubling)."""
+        if rows <= self._capacity:
+            return
+        new_cap = self._capacity
+        while new_cap < rows:
+            new_cap *= 2
+        for name, array in self._data.items():
+            grown = np.empty(self._shape_of(name, new_cap),
+                             dtype=array.dtype)
+            grown[:self._length] = array[:self._length]
+            self._data[name] = grown
+        self._capacity = new_cap
+
+    def append_row(self, values: Mapping[str, object]) -> None:
+        """Append one row; ``values`` must cover every field.
+
+        ``None`` is encoded as NaN (only meaningful for float fields).
+        """
+        self._grow_to(self._length + 1)
+        i = self._length
+        for name in self._dtypes:
+            value = values[name]
+            self._data[name][i] = np.nan if value is None else value
+        self._length += 1
+
+    # -- reads ----------------------------------------------------------
+
+    def raw_column(self, name: str) -> np.ndarray:
+        """Zero-copy view of one column in its storage dtype, shape (T,).
+
+        The view is marked read-only: it aliases the live recording
+        buffer, and an in-place mutation would silently rewrite
+        history (the pre-columnar API returned fresh arrays, so
+        callers may still assume mutation is safe).
+        """
+        view = self._data[name][:self._length]
+        view.flags.writeable = False
+        return view
+
+    def column(self, name: str) -> np.ndarray:
+        """One column as ``float64``, shape (T,...).
+
+        Zero-copy for ``float64`` fields; narrow (int/bool) fields are
+        up-cast on read, matching the dtype the records-based
+        ``column()`` API historically returned.
+        """
+        raw = self.raw_column(name)
+        if raw.dtype == np.float64:
+            return raw
+        return raw.astype(np.float64)
+
+    def value(self, name: str, index: int):
+        """One cell, decoded: NaN-able float fields give NaN through."""
+        return self._data[name][index if index >= 0
+                                else self._length + index]
+
+
+class BatchColumnStore(ColumnStore):
+    """(T, N) member-major columns for batched engines.
+
+    Per-member fields allocate as ``(capacity, n)``; fields named in
+    ``shared`` (by default just the time column) allocate as
+    ``(capacity,)`` because every member shares the batch clock.  One
+    :meth:`append_tick` call records a whole tick for all N members.
+    """
+
+    def __init__(self, fields: FieldSpec, n: int,
+                 shared: Iterable[str] = ("t_s",),
+                 capacity: int = INITIAL_CAPACITY):
+        if n < 1:
+            raise ValueError("batch stores need at least one member")
+        self.n = int(n)
+        self._shared = frozenset(shared)
+        super().__init__(fields, capacity=capacity)
+        unknown = self._shared - set(self._dtypes)
+        if unknown:
+            raise ValueError(f"shared fields not in spec: {sorted(unknown)}")
+
+    def _shape_of(self, name: str, rows: int):
+        """(rows,) for shared columns, (rows, N) for per-member ones."""
+        return (rows,) if name in self._shared else (rows, self.n)
+
+    def append_tick(self, values: Mapping[str, object]) -> None:
+        """Record one tick: scalars for shared fields, (N,) arrays else."""
+        self._grow_to(self._length + 1)
+        i = self._length
+        for name in self._dtypes:
+            self._data[name][i] = values[name]
+        self._length += 1
+
+    def member_column(self, name: str, index: int) -> np.ndarray:
+        """Zero-copy (T,) view of one member's column (storage dtype).
+
+        Read-only, like :meth:`ColumnStore.raw_column`.
+        """
+        raw = self._data[name]
+        view = raw[:self._length] if name in self._shared \
+            else raw[:self._length, index]
+        view.flags.writeable = False
+        return view

@@ -9,14 +9,15 @@ sweep points, cluster arms — across a process pool.
 
 from .actuators import Actuators, BE_COS, LC_COS
 from .batch import (BatchColocationSim, BatchHistory, BatchMember,
-                    BatchTickResult)
+                    BatchMemberHistory, BatchTickResult)
 from .engine import ColocationSim, Controller, SimHistory, TickRecord
 from .monitors import LatencyMonitor, ThroughputMonitor
 from .runner import memoized_dram_model, run_sweep
 
 __all__ = [
     "Actuators", "BE_COS", "LC_COS",
-    "BatchColocationSim", "BatchHistory", "BatchMember", "BatchTickResult",
+    "BatchColocationSim", "BatchHistory", "BatchMember",
+    "BatchMemberHistory", "BatchTickResult",
     "ColocationSim", "Controller", "SimHistory", "TickRecord",
     "LatencyMonitor", "ThroughputMonitor",
     "memoized_dram_model", "run_sweep",

@@ -48,7 +48,7 @@ Typical use::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
@@ -57,12 +57,14 @@ from ..hardware.cache import CatController
 from ..hardware.counters import CounterBank
 from ..hardware.server import Server
 from ..hardware.spec import MachineSpec
+from ..metrics.columns import BatchColumnStore
+from ..metrics.history import BatchMemberSeries
 from ..workloads.best_effort import (BestEffortWorkload,
                                      reference_throughput_units)
 from ..workloads.latency_critical import LatencyCriticalWorkload
 from ..workloads.traces import LoadTrace
 from .actuators import BE_COS, Actuators
-from .engine import Controller, SimHistory, TickRecord
+from .engine import Controller, SimHistory, TickRecord, TickSeriesMixin
 from .monitors import LatencyMonitor, ThroughputMonitor
 
 
@@ -216,7 +218,13 @@ class BatchMember:
         self.actuators = Actuators(self.server, min_lc_cores=min_lc_cores)
         self.latency_monitor = LatencyMonitor()
         self.rng = np.random.default_rng(seed)
-        self.history = SimHistory()
+        if batch.record_history:
+            # Zero-copy member slice of the batch's (T, N) columns.
+            self.history = BatchMemberHistory(batch._store, index)
+        else:
+            # The scalar format stays available (and simply empty), as
+            # it was when the batch skipped per-member recording.
+            self.history = SimHistory()
         self.controller: Optional[Controller] = None
         if be is not None:
             reference = reference_throughput_units(be)
@@ -263,38 +271,95 @@ class BatchTickResult:
     be_running: np.ndarray
 
 
-@dataclass
+class BatchMemberHistory(TickSeriesMixin, BatchMemberSeries):
+    """One member's scalar-history view of the shared batch store.
+
+    Presents the exact :class:`~repro.sim.engine.SimHistory` surface —
+    ``records``, ``last()``, ``column()``, the windowed metrics — as a
+    zero-copy slice of the batch's (T, N) columns, so the equivalence
+    contract ("a batch member's history matches its scalar twin
+    tick-for-tick") is checkable without materializing N dataclasses
+    per tick.
+    """
+
+    RECORD_TYPE = TickRecord
+    INT_FIELDS = SimHistory.INT_FIELDS
+    BOOL_FIELDS = SimHistory.BOOL_FIELDS
+    OPTIONAL_FIELDS = SimHistory.OPTIONAL_FIELDS
+
+
 class BatchHistory:
     """Column-oriented record of a whole batched run.
 
-    Rows are ticks, columns are members; kept as per-tick arrays so the
-    cluster and sweep layers can aggregate without materializing one
-    ``TickRecord`` object per (tick, server).
-    """
+    Rows are ticks, columns are members: every observable is a (T, N)
+    member-major array inside one :class:`~repro.metrics.columns.
+    BatchColumnStore` (timestamps are stored once — all members share
+    the batch clock), so the cluster and sweep layers aggregate with
+    array math and never materialize a ``TickRecord`` per
+    (tick, server).
 
-    t_s: List[float] = field(default_factory=list)
-    columns: Dict[str, List[np.ndarray]] = field(default_factory=dict)
+    A standalone ``BatchHistory()`` (as the public :meth:`append` API
+    expects) records the compact observable set of
+    :class:`BatchTickResult`; the batched engine instead hands its
+    history a store that may carry the full ``TickRecord`` field set,
+    shared zero-copy with the per-member
+    :class:`BatchMemberHistory` views.
+    """
 
     _FIELDS = ("load", "tail_latency_ms", "slo_fraction",
                "be_throughput_norm", "emu")
 
+    def __init__(self, n: Optional[int] = None,
+                 store: Optional[BatchColumnStore] = None):
+        self._n = n
+        self._store = store
+
+    @property
+    def store(self) -> Optional[BatchColumnStore]:
+        """The backing store (None until the first append sizes it)."""
+        return self._store
+
+    def _ensure_store(self, n: int) -> BatchColumnStore:
+        """Create the compact store on first use (N known at append)."""
+        if self._store is None:
+            fields = [("t_s", np.float64)]
+            fields += [(name, np.float64) for name in self._FIELDS]
+            self._store = BatchColumnStore(fields, n=n, shared=("t_s",))
+        return self._store
+
     def append(self, result: BatchTickResult) -> None:
-        """Record one tick's member-wide observable arrays."""
-        self.t_s.append(result.t_s)
-        for name in self._FIELDS:
-            self.columns.setdefault(name, []).append(getattr(result, name))
+        """Record one tick's member-wide observable arrays.
+
+        On an engine-owned history whose store carries the full
+        ``TickRecord`` field set, the fields a :class:`BatchTickResult`
+        does not provide are recorded as absent (NaN for float columns,
+        zero/False for counts and flags) rather than rejected — the
+        compact append API keeps working against either layout.
+        """
+        store = self._ensure_store(self._n or len(result.load))
+        row = {name: getattr(result, name) for name in self._FIELDS}
+        row["t_s"] = result.t_s
+        for name in store.fields:
+            if name not in row:
+                dtype = np.dtype(store.raw_column(name).dtype)
+                row[name] = np.nan if dtype.kind == "f" else 0
+        store.append_tick(row)
 
     def column(self, name: str) -> np.ndarray:
-        """(T, N) array of one observable across the whole run."""
-        return np.stack(self.columns[name]) if self.columns.get(name) \
-            else np.zeros((0, 0))
+        """(T, N) zero-copy view of one observable across the run."""
+        if self._store is None or not len(self._store):
+            return np.zeros((0, 0))
+        return self._store.column(name)
 
     def times(self) -> np.ndarray:
         """Tick timestamps of the recorded run, shape (T,)."""
-        return np.array(self.t_s, dtype=float)
+        if self._store is None:
+            return np.zeros(0)
+        return self._store.column("t_s")
 
     def __len__(self) -> int:
-        return len(self.t_s)
+        """Number of recorded ticks."""
+        return len(self._store) if self._store is not None else 0
 
 
 def _as_list(value, n: int, what: str) -> list:
@@ -359,7 +424,17 @@ class BatchColocationSim:
                 raise ValueError("batch members must share one hardware spec")
         self.record_history = record_history
         self.time_s = 0.0
-        self.history = BatchHistory()
+        # One columnar store for the whole batch: always the compact
+        # BatchTickResult observables, plus the rest of the TickRecord
+        # fields when per-member histories are kept.  Members' history
+        # views read the same arrays — nothing is stored twice.
+        if record_history:
+            fields = SimHistory.field_dtypes()
+        else:
+            fields = [("t_s", np.float64)] + [
+                (name, np.float64) for name in BatchHistory._FIELDS]
+        self._store = BatchColumnStore(fields, n=n, shared=("t_s",))
+        self.history = BatchHistory(n=n, store=self._store)
 
         self.members: List[BatchMember] = [
             BatchMember(self, i, lcs[i], traces[i], be_list[i],
@@ -691,32 +766,36 @@ class BatchColocationSim:
             t_s=self.time_s, load=load, tail_latency_ms=tail,
             slo_fraction=slo_fraction, be_throughput_norm=be_norm,
             emu=emu, be_running=be_running)
-        self.history.append(result)
 
+        # One vectorized row write records the whole tick for every
+        # member (the per-member dataclass loop this replaces built N
+        # TickRecords per tick).  The actuator-state columns reuse the
+        # arrays gathered in step 2: controllers only mutate actuators
+        # *after* this point in the tick, so the gathered values are
+        # exactly what the per-member properties would report here.
+        row = {
+            "t_s": self.time_s, "load": load, "tail_latency_ms": tail,
+            "slo_fraction": slo_fraction, "be_throughput_norm": be_norm,
+            "emu": emu,
+        }
         if self.record_history:
-            for i, m in enumerate(self.members):
-                a = m.actuators
-                m.history.append(TickRecord(
-                    t_s=self.time_s,
-                    load=float(load[i]),
-                    tail_latency_ms=float(tail[i]),
-                    slo_fraction=float(slo_fraction[i]),
-                    be_throughput_norm=float(be_norm[i]),
-                    be_cores=a.be_cores,
-                    be_llc_ways=a.be_llc_ways,
-                    be_dvfs_cap_ghz=a.be_dvfs_cap_ghz,
-                    be_net_ceil_gbps=a.be_net_ceil_gbps,
-                    be_enabled=a.be_enabled,
-                    emu=float(emu[i]),
-                    dram_bw_gbps=float(dram["total_gbps"][i]),
-                    dram_utilization=float(dram["max_util"][i]),
-                    cpu_utilization=float(self._tick["cpu_utilization"][i]),
-                    power_fraction_of_tdp=float(power_fraction[i]),
-                    lc_net_gbps=float(net["lc_ach"][i]),
-                    be_net_gbps=float(net["be_ach"][i]) if be_running[i]
-                    else 0.0,
-                    link_utilization=float(link_util[i]),
-                ))
+            row.update(
+                be_cores=be_eff,
+                be_llc_ways=np.where(be_enabled, be_ways, 0),
+                be_dvfs_cap_ghz=np.where(np.isinf(dvfs_cap), np.nan,
+                                         dvfs_cap),
+                be_net_ceil_gbps=np.where(np.isinf(be_ceil), np.nan,
+                                          be_ceil),
+                be_enabled=be_enabled,
+                dram_bw_gbps=dram["total_gbps"],
+                dram_utilization=dram["max_util"],
+                cpu_utilization=self._tick["cpu_utilization"],
+                power_fraction_of_tdp=power_fraction,
+                lc_net_gbps=net["lc_ach"],
+                be_net_gbps=net["be_ach"],
+                link_utilization=link_util,
+            )
+        self._store.append_tick(row)
 
         for m in self.members:
             if m.controller is not None:

@@ -22,12 +22,13 @@ polling counters and poking cgroups/MSRs/tc.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Protocol
+from dataclasses import dataclass
+from typing import Dict, Optional, Protocol
 
 import numpy as np
 
 from ..hardware.counters import CounterBank
+from ..metrics.history import ColumnarHistory
 from ..hardware.server import Server, TaskUsage
 from ..hardware.spec import MachineSpec
 from ..workloads.best_effort import (BestEffortWorkload,
@@ -69,31 +70,19 @@ class TickRecord:
     link_utilization: float
 
 
-@dataclass
-class SimHistory:
-    """Column-oriented record of a whole run."""
+class TickSeriesMixin:
+    """The aggregate-metric surface shared by every tick history.
 
-    records: List[TickRecord] = field(default_factory=list)
-
-    def append(self, record: TickRecord) -> None:
-        """Record one tick."""
-        self.records.append(record)
-
-    def column(self, name: str) -> np.ndarray:
-        """One :class:`TickRecord` field over the whole run, shape (T,)."""
-        return np.array([getattr(r, name) for r in self.records], dtype=float)
-
-    def __len__(self) -> int:
-        return len(self.records)
-
-    def last(self) -> TickRecord:
-        """The most recent tick's record."""
-        return self.records[-1]
+    Mixed into :class:`SimHistory` (columnar storage) and the batched
+    engine's per-member views; every method delegates to the one
+    :class:`~repro.metrics.windows.WindowedMetrics` implementation, so
+    no history can grow its own divergent (or fixed-tick) metric code
+    again.
+    """
 
     def max_slo_fraction(self, skip_s: float = 0.0) -> float:
         """Worst single-tick SLO fraction after ``skip_s`` seconds."""
-        vals = [r.slo_fraction for r in self.records if r.t_s >= skip_s]
-        return max(vals) if vals else 0.0
+        return self.metrics.maximum("slo_fraction", skip_s=skip_s)
 
     def dt_s(self) -> float:
         """Tick interval of the recorded run, derived from timestamps.
@@ -102,11 +91,7 @@ class SimHistory:
         consecutive timestamps *is* the tick size; falls back to 1 s
         when the history is too short to tell.
         """
-        if len(self.records) >= 2:
-            span = self.records[-1].t_s - self.records[0].t_s
-            if span > 0:
-                return span / (len(self.records) - 1)
-        return 1.0
+        return self.metrics.dt_s()
 
     def worst_window_slo(self, window_s: float = 60.0,
                          skip_s: float = 0.0,
@@ -124,30 +109,36 @@ class SimHistory:
         ``window_s``-second window for any tick size; ``dt_s`` may be
         passed explicitly to override the derived spacing.
         """
-        vals = [r.slo_fraction for r in self.records if r.t_s >= skip_s]
-        if not vals:
-            return 0.0
-        if dt_s is None:
-            dt_s = self.dt_s()
-        if dt_s <= 0:
-            raise ValueError("dt must be positive")
-        width = max(1, int(round(window_s / dt_s)))
-        if len(vals) < width:
-            return float(np.mean(vals))
-        series = np.array(vals, dtype=float)
-        csum = np.cumsum(np.insert(series, 0, 0.0))
-        windows = (csum[width:] - csum[:-width]) / width
-        return float(windows.max())
+        return self.metrics.worst_window("slo_fraction", window_s=window_s,
+                                         skip_s=skip_s, dt_s=dt_s)
 
     def mean_emu(self, skip_s: float = 0.0) -> float:
         """Mean effective machine utilization after ``skip_s`` seconds."""
-        vals = [r.emu for r in self.records if r.t_s >= skip_s]
-        return float(np.mean(vals)) if vals else 0.0
+        return self.metrics.mean("emu", skip_s=skip_s)
 
     def mean(self, name: str, skip_s: float = 0.0) -> float:
         """Mean of any record field after ``skip_s`` seconds."""
-        vals = [getattr(r, name) for r in self.records if r.t_s >= skip_s]
-        return float(np.mean(vals)) if vals else 0.0
+        return self.metrics.mean(name, skip_s=skip_s)
+
+    def means(self, names, skip_s: float = 0.0) -> Dict[str, float]:
+        """Means of several record fields in one timestamp-filter pass."""
+        return self.metrics.means(names, skip_s=skip_s)
+
+
+class SimHistory(TickSeriesMixin, ColumnarHistory):
+    """Column-oriented record of a whole run.
+
+    Storage is one :class:`~repro.metrics.columns.ColumnStore` column
+    per :class:`TickRecord` field (geometrically grown, O(1) amortized
+    appends); ``history.records`` materializes the dataclass list on
+    demand for inspection, and :meth:`~repro.metrics.history.
+    RecordSeries.column` is a zero-copy view for vectorized consumers.
+    """
+
+    RECORD_TYPE = TickRecord
+    INT_FIELDS = frozenset({"be_cores", "be_llc_ways"})
+    BOOL_FIELDS = frozenset({"be_enabled"})
+    OPTIONAL_FIELDS = frozenset({"be_dvfs_cap_ghz", "be_net_ceil_gbps"})
 
 
 class ColocationSim:

@@ -12,8 +12,9 @@ worst-case latency that was seen during experiments", §5.1).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, Optional, Tuple
+
+from ..metrics.windows import sample_mean
 
 
 class LatencyMonitor:
@@ -49,13 +50,20 @@ class LatencyMonitor:
         out.reverse()
         return out
 
+    def observed_spacing_s(self) -> Optional[float]:
+        """Spacing of the two freshest samples (the effective tick)."""
+        if len(self._samples) < 2:
+            return None
+        spacing = self._samples[-1][0] - self._samples[-2][0]
+        return spacing if spacing > 0 else None
+
     def poll_latency_ms(self, now_s: float) -> Optional[float]:
         """Tail latency over the control window (what PollLCAppLatency
         returns): the mean of per-interval tail estimates."""
         window = self._window(now_s, self.window_s)
         if not window:
             return None
-        return sum(s[1] for s in window) / len(window)
+        return sample_mean([s[1] for s in window])
 
     def recent_latency_ms(self, now_s: float,
                           span_s: float = 2.0) -> Optional[float]:
@@ -65,19 +73,38 @@ class LatencyMonitor:
         effect of its own last actuation before taking the next step
         (§4.3's per-step SLO check) — the 15-second control window would
         lag it into oscillation.
+
+        The requested span is a *time* span, so its sample coverage
+        depends on the tick: when samples arrive more than ``span_s``
+        apart (coarse ``dt_s``), a literal cut would degenerate to the
+        single latest sample and defeat the per-step averaging.  The
+        effective span therefore stretches to cover at least one full
+        observed sample interval — the last two samples — which is
+        exactly the coverage the 2-second span gives at the historical
+        1-second tick.
         """
         window = self._window(now_s, span_s)
+        spacing = self.observed_spacing_s()
+        if (len(window) < 2 and spacing is not None and spacing > span_s
+                and now_s - self._samples[-1][0] <= spacing):
+            # Coarse tick: one full interval is the freshest view that
+            # still averages (the 2-sample window of the 1 s tick).
+            # The freshness guard keeps the stretch out of stale polls
+            # (latest sample older than one interval), which retain the
+            # historical single-latest-sample fallback below.
+            window = [self._samples[-2], self._samples[-1]]
         if not window:
             window = list(self._samples)[-1:]
         if not window:
             return None
-        return sum(s[1] for s in window) / len(window)
+        return sample_mean([s[1] for s in window])
 
     def poll_load(self, now_s: float) -> Optional[float]:
+        """Offered load averaged over the control window."""
         window = self._window(now_s, self.window_s)
         if not window:
             return None
-        return sum(s[2] for s in window) / len(window)
+        return sample_mean([s[2] for s in window])
 
     def worst_window_ms(self, now_s: float) -> Optional[float]:
         """Worst tail estimate inside the SLO reporting window."""

@@ -41,13 +41,27 @@ _MODEL_CACHE: Dict[Tuple[str, MachineSpec], LcDramBandwidthModel] = {}
 
 
 def default_jobs(points: int) -> int:
-    """Worker count for a sweep of ``points`` independent tasks."""
+    """Worker count for a sweep of ``points`` independent tasks.
+
+    ``REPRO_JOBS`` pins the count; ``0`` (like unset) means auto — the
+    historical behaviour of forcing serial execution for ``0``
+    contradicted the documented contract.  Negative pins are rejected
+    loudly instead of being silently clamped to serial; non-numeric
+    values are ignored (auto).
+    """
     env = os.environ.get(JOBS_ENV, "").strip()
     if env:
         try:
-            return max(1, int(env))
+            pinned = int(env)
         except ValueError:
-            pass
+            pinned = None
+        if pinned is not None:
+            if pinned < 0:
+                raise ValueError(
+                    f"{JOBS_ENV}={env!r}: worker count must be >= 0 "
+                    f"(0 or unset = auto)")
+            if pinned > 0:
+                return pinned
     return max(1, min(points, os.cpu_count() or 1))
 
 

@@ -23,6 +23,7 @@ import pytest
 ALL_EXPORT_MODULES = (
     "repro",
     "repro.sim",
+    "repro.metrics",
     "repro.workloads",
     "repro.baselines",
     "repro.experiments",
@@ -36,6 +37,9 @@ DEEP_MODULES = (
     "repro.sim.batch",
     "repro.sim.runner",
     "repro.sim.engine",
+    "repro.metrics.columns",
+    "repro.metrics.windows",
+    "repro.metrics.history",
     "repro.core.controller",
     "repro.scenarios.spec",
     "repro.scenarios.loader",

@@ -1,0 +1,190 @@
+"""dt-correctness property tests: reported metrics are tick-invariant.
+
+The telemetry refactor retired a class of bugs where recording or
+reporting code silently assumed a 1-second tick (window widths in
+samples, record cadences in ticks, 1-tick-per-second run loops).
+These tests pin the retirement as a *property*: the paper-facing
+aggregates — worst 60-second windowed SLO, mean EMU, cluster record
+cadence — are invariant (up to window rounding) across
+``dt_s ∈ {0.5, 1, 5}`` on the scalar, batched, and cluster paths.
+
+The workloads are built noise-free (tail-noise draws happen once per
+tick, so a run at ``dt_s=0.5`` would otherwise consume a different
+number of draws than the same run at ``dt_s=5`` and the comparison
+would measure noise, not dt-correctness).
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.baselines.static import optimistic_static
+from repro.cluster.cluster import WebsearchCluster
+from repro.cluster.coordinator import CoordinatedWebsearchCluster
+from repro.hardware.spec import default_machine_spec
+from repro.sim.batch import BatchColocationSim
+from repro.sim.engine import ColocationSim
+from repro.workloads.best_effort import make_be_workload
+from repro.workloads.latency_critical import (LC_PROFILES,
+                                              LatencyCriticalWorkload)
+from repro.workloads.traces import ConstantLoad, DiurnalTrace
+
+DTS = (0.5, 1.0, 5.0)
+
+
+def quiet_lc(spec=None):
+    """websearch with tail noise disabled (see module docstring)."""
+    spec = spec or default_machine_spec()
+    profile = replace(LC_PROFILES["websearch"], noise_sigma=0.0)
+    return LatencyCriticalWorkload(profile, spec)
+
+
+def smooth_trace():
+    """A noiseless diurnal trace (deterministic at every timestamp)."""
+    return DiurnalTrace(low=0.2, high=0.8, period_s=300.0,
+                        noise_sigma=0.0, seed=0)
+
+
+class TestScalarDtInvariance:
+    def _run(self, dt_s, trace, be=None, controller=None, duration=600.0):
+        spec = default_machine_spec()
+        sim = ColocationSim(lc=quiet_lc(spec), trace=trace,
+                            be=be and make_be_workload(be, spec),
+                            spec=spec, seed=0)
+        if controller is not None:
+            sim.attach_controller(controller(sim.actuators))
+        sim.run(duration, dt_s=dt_s)
+        return sim.history
+
+    def test_worst_window_slo_invariant(self):
+        worst = [self._run(dt, smooth_trace()).worst_window_slo(skip_s=120.0)
+                 for dt in DTS]
+        for value in worst[1:]:
+            assert value == pytest.approx(worst[0], rel=0.02)
+
+    def test_mean_emu_invariant_at_steady_state(self):
+        means = [
+            self._run(dt, ConstantLoad(0.5), be="brain",
+                      controller=optimistic_static,
+                      duration=300.0).mean_emu(skip_s=60.0)
+            for dt in DTS
+        ]
+        # Post-warmup ticks are identical at any dt: exact invariance.
+        for value in means[1:]:
+            assert value == pytest.approx(means[0], rel=1e-9)
+        assert means[0] > 0.5  # BE actually colocated
+
+    def test_max_slo_fraction_invariant_at_steady_state(self):
+        maxima = [
+            self._run(dt, ConstantLoad(0.6),
+                      duration=300.0).max_slo_fraction(skip_s=60.0)
+            for dt in DTS
+        ]
+        for value in maxima[1:]:
+            assert value == pytest.approx(maxima[0], rel=1e-9)
+
+
+class TestBatchDtInvariance:
+    def _run(self, dt_s, trace, duration=600.0):
+        spec = default_machine_spec()
+        batch = BatchColocationSim(
+            lc=quiet_lc(spec), trace=trace,
+            bes=[make_be_workload("brain", spec), None], spec=spec,
+            seeds=[0, 1])
+        for member in batch.members[:1]:
+            member.attach_controller(optimistic_static(member.actuators))
+        batch.run(duration, dt_s=dt_s)
+        return batch
+
+    def test_member_metrics_invariant(self):
+        runs = [self._run(dt, ConstantLoad(0.5), duration=300.0)
+                for dt in DTS]
+        for which in range(2):
+            emu = [r.members[which].history.mean_emu(skip_s=60.0)
+                   for r in runs]
+            worst = [r.members[which].history.worst_window_slo(skip_s=60.0)
+                     for r in runs]
+            for value in emu[1:]:
+                assert value == pytest.approx(emu[0], rel=1e-9)
+            for value in worst[1:]:
+                assert value == pytest.approx(worst[0], rel=1e-9)
+
+    def test_batch_matches_scalar_at_coarse_dt(self):
+        """The dt plumbing is identical across engines (dt_s=5)."""
+        spec = default_machine_spec()
+        sim = ColocationSim(lc=quiet_lc(spec), trace=smooth_trace(),
+                            be=make_be_workload("brain", spec), spec=spec,
+                            seed=0)
+        sim.attach_controller(optimistic_static(sim.actuators))
+        sim.run(300.0, dt_s=5.0)
+
+        batch = self._run(5.0, smooth_trace(), duration=300.0)
+        member = batch.members[0].history
+        np.testing.assert_allclose(member.column("slo_fraction"),
+                                   sim.history.column("slo_fraction"),
+                                   rtol=1e-9, atol=1e-12)
+        assert member.worst_window_slo(skip_s=60.0) == pytest.approx(
+            sim.history.worst_window_slo(skip_s=60.0), rel=1e-12)
+
+
+class TestClusterDtInvariance:
+    def _run(self, dt_s, duration=240.0):
+        cluster = WebsearchCluster(leaves=2, trace=ConstantLoad(0.6),
+                                   seed=0, managed=False)
+        cluster.run(duration, dt_s=dt_s)
+        return cluster
+
+    def test_record_cadence_invariant(self):
+        runs = [self._run(dt) for dt in DTS]
+        counts = [len(r.history) for r in runs]
+        assert counts == [counts[0]] * len(DTS)
+        base = runs[0].history.times()
+        for run in runs[1:]:
+            np.testing.assert_allclose(run.history.times(), base)
+
+    def test_mean_emu_invariant(self):
+        emus = [self._run(dt).history.mean_emu() for dt in DTS]
+        for value in emus[1:]:
+            assert value == pytest.approx(emus[0], rel=1e-9)
+        mins = [self._run(dt).history.min_emu() for dt in DTS]
+        for value in mins[1:]:
+            assert value == pytest.approx(mins[0], rel=1e-9)
+
+
+class TestCoordinatorDt:
+    """CoordinatedWebsearchCluster.run honours the tick size."""
+
+    def _coordinated(self):
+        return CoordinatedWebsearchCluster(leaves=2,
+                                           trace=ConstantLoad(0.5),
+                                           seed=0, managed=False)
+
+    def test_non_unit_dt_simulates_full_duration(self):
+        coordinated = self._coordinated()
+        coordinated.run(90.0, dt_s=0.5)
+        assert coordinated.cluster.time_s == pytest.approx(90.0)
+        assert coordinated.cluster._tick_index == 180
+
+    def test_fractional_duration_not_truncated(self):
+        coordinated = self._coordinated()
+        coordinated.run(45.5, dt_s=0.5)
+        assert coordinated.cluster.time_s == pytest.approx(45.5)
+
+    def test_coarse_dt_steps_targets_at_time_cadence(self):
+        coordinated = self._coordinated()
+        coordinated.run(120.0, dt_s=5.0)
+        # The coordinator's 30-second period elapsed four times.
+        assert coordinated.cluster.time_s == pytest.approx(120.0)
+        assert coordinated.coordinator._last_step_s is not None
+
+    def test_rejects_bad_dt(self):
+        coordinated = self._coordinated()
+        with pytest.raises(ValueError):
+            coordinated.run(10.0, dt_s=0.0)
+
+    def test_default_dt_matches_legacy(self):
+        coordinated = self._coordinated()
+        history = coordinated.run(60.0)
+        assert coordinated.cluster.time_s == pytest.approx(60.0)
+        assert len(history) >= 1

@@ -46,6 +46,18 @@ class TestRunSweep:
         monkeypatch.setenv(runner.JOBS_ENV, "not-a-number")
         assert default_jobs(4) >= 1
 
+    def test_jobs_env_zero_means_auto(self, monkeypatch):
+        """REPRO_JOBS=0 is the documented 'auto', not forced-serial."""
+        monkeypatch.delenv(runner.JOBS_ENV, raising=False)
+        auto = default_jobs(3)
+        monkeypatch.setenv(runner.JOBS_ENV, "0")
+        assert default_jobs(3) == auto
+
+    def test_jobs_env_negative_rejected(self, monkeypatch):
+        monkeypatch.setenv(runner.JOBS_ENV, "-2")
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            default_jobs(3)
+
 
 class TestMemoizedModel:
     def test_same_object_returned(self):

@@ -49,6 +49,33 @@ class TestLatencyMonitor:
         m.record(0.0, 12.0, 0.5)
         assert m.recent_latency_ms(100.0, span_s=2.0) == pytest.approx(12.0)
 
+    def test_recent_latency_coarse_tick_averages_full_interval(self):
+        """dt_s=5 regression: the 2 s subcontroller span must average
+        one full sample interval, not degenerate to the latest sample."""
+        m = LatencyMonitor()
+        for t, tail in ((0.0, 10.0), (5.0, 20.0), (10.0, 40.0)):
+            m.record(t, tail, 0.5)
+        assert m.observed_spacing_s() == pytest.approx(5.0)
+        # span (2 s) < tick (5 s): the last two samples are averaged.
+        assert m.recent_latency_ms(10.0, span_s=2.0) == pytest.approx(30.0)
+
+    def test_recent_latency_stale_poll_keeps_latest_fallback(self):
+        """The coarse-tick stretch must not fire for stale polls: a
+        poll long after the last sample still returns the freshest
+        sample, not an average reaching further into the past."""
+        m = LatencyMonitor()
+        m.record(0.0, 10.0, 0.5)
+        m.record(5.0, 40.0, 0.5)
+        assert m.recent_latency_ms(100.0, span_s=2.0) == pytest.approx(40.0)
+
+    def test_recent_latency_fine_tick_unchanged(self):
+        """At the historical 1 s tick the 2 s span behaviour is pinned:
+        exactly the two freshest samples are averaged."""
+        m = LatencyMonitor()
+        for t in range(5):
+            m.record(float(t), 10.0 * (t + 1), 0.5)
+        assert m.recent_latency_ms(4.0, span_s=2.0) == pytest.approx(45.0)
+
     def test_time_ordering_enforced(self):
         m = LatencyMonitor()
         m.record(10.0, 5.0, 0.5)

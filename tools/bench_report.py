@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Run the perf-gating benchmarks and write the BENCH_PR3.json report.
+
+Usage: ``python tools/bench_report.py [--out BENCH_PR3.json]``
+
+Runs the telemetry benchmark (``benchmarks/test_bench_metrics.py`` —
+history-memory and summary-speed gates, which emits its measurement
+detail as JSON) and the batched-backend benchmark
+(``benchmarks/test_bench_batch.py`` — cluster speedup and equivalence
+gates), records each suite's wall time and pass/fail, and merges
+everything into one report so CI can upload the perf trajectory as an
+artifact run over run.
+
+Exits non-zero if any benchmark gate fails; the report is written
+either way so a failing run still leaves its numbers behind.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+
+#: The gating benchmarks whose wall time and verdicts the report records.
+BENCHES = (
+    ("metrics", "benchmarks/test_bench_metrics.py"),
+    ("batch", "benchmarks/test_bench_batch.py"),
+)
+
+
+def run_bench(path: str, extra_env: dict) -> dict:
+    """Run one benchmark file under pytest; return wall time + verdict."""
+    env = dict(os.environ)
+    env.update(extra_env)
+    env["PYTHONPATH"] = (os.path.join(ROOT, "src")
+                         + os.pathsep + env.get("PYTHONPATH", ""))
+    env.setdefault("REPRO_JOBS", "1")
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider",
+         path],
+        cwd=ROOT, env=env, capture_output=True, text=True)
+    wall_s = time.perf_counter() - start
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout[-4000:] + proc.stderr[-4000:])
+    return {"wall_s": round(wall_s, 2), "passed": proc.returncode == 0}
+
+
+def main(argv=None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_PR3.json",
+                        help="report path (default: ./BENCH_PR3.json)")
+    args = parser.parse_args(argv)
+
+    report = {"report": "BENCH_PR3", "benches": {}}
+    with tempfile.TemporaryDirectory() as tmp:
+        detail_path = os.path.join(tmp, "metrics_detail.json")
+        for name, path in BENCHES:
+            extra = {"REPRO_BENCH_OUT": detail_path} \
+                if name == "metrics" else {}
+            print(f"running {path} ...", flush=True)
+            report["benches"][name] = run_bench(path, extra)
+        if os.path.exists(detail_path):
+            with open(detail_path, "r", encoding="utf-8") as handle:
+                report["benches"]["metrics"].update(json.load(handle))
+
+    report["tests_passed"] = all(b["passed"]
+                                 for b in report["benches"].values())
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    for name, bench in report["benches"].items():
+        verdict = "ok" if bench["passed"] else "FAILED"
+        print(f"  {name}: {verdict} in {bench['wall_s']}s")
+    return 0 if report["tests_passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
