@@ -31,7 +31,7 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
 #: Commands whose work fans out across the sweep runner; ``--jobs``
 #: only affects these (plus ``all``, which includes them).
 SWEEP_COMMANDS = frozenset({"fig4", "fig5", "fig6", "fig8", "all",
-                            "scenario"})
+                            "scenario", "fleet"})
 
 
 def quickstart(seed: int = 42) -> None:
@@ -67,7 +67,16 @@ def build_parser() -> argparse.ArgumentParser:
                  "CPU; 1 forces the serial path)")
 
     for name in sorted(EXPERIMENTS) + ["all"]:
-        add_jobs(sub.add_parser(name))
+        p = sub.add_parser(name)
+        add_jobs(p)
+        if name == "fig8":
+            p.add_argument(
+                "--leaves", type=int, default=None, metavar="N",
+                help="leaf servers behind the fan-out root (default: "
+                     "the registered scenario's 8; at least 2)")
+            p.add_argument(
+                "--engine", choices=("batch", "scalar"), default=None,
+                help="leaf execution backend (default: batch)")
 
     quick = sub.add_parser(
         "quickstart", help="the README demo (websearch + brain)")
@@ -90,6 +99,26 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument(
         "--seed", type=int, default=None,
         help="override the scenario's base seed")
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run a sharded fleet scenario (registered name or spec file)",
+        description="Compile and run a fleet-shaped scenario on the "
+                    "sharded backend (docs/scenarios.md documents the "
+                    "FleetSpec schema).")
+    fleet.add_argument(
+        "scenario", nargs="?", default=None, metavar="name-or-file",
+        help="a registered fleet scenario name or a path to a spec file")
+    fleet.add_argument(
+        "--list", action="store_true", dest="list_scenarios",
+        help="list registered fleet scenarios and exit")
+    add_jobs(fleet)
+    fleet.add_argument(
+        "--seed", type=int, default=None,
+        help="override the scenario's base seed")
+    fleet.add_argument(
+        "--shard-leaves", type=int, default=None, metavar="N",
+        help="override the fleet's maximum leaves per shard (>= 1)")
     return parser
 
 
@@ -117,13 +146,29 @@ def _apply_jobs(args: argparse.Namespace) -> None:
     os.environ[JOBS_ENV] = str(args.jobs)
 
 
+def _resolve_scenario_spec(name_or_file: str):
+    """Resolve a CLI scenario argument to a validated spec.
+
+    Registry names win over the filesystem, so a stray directory named
+    ``fig8`` in cwd cannot shadow the registered scenario; spell file
+    paths with an extension or a separator.
+    """
+    import os
+
+    from .scenarios import load_scenario, registry
+    if name_or_file in registry.names():
+        return registry.get(name_or_file)
+    if os.path.exists(name_or_file) or name_or_file.endswith(
+            (".json", ".yaml", ".yml")):
+        return load_scenario(name_or_file)
+    return registry.get(name_or_file)  # raises with the names
+
+
 def _run_scenario_command(args: argparse.Namespace) -> int:
     """Handle ``repro scenario [name-or-file] [--list] [--seed N]``."""
     import dataclasses
-    import os
 
-    from .scenarios import (ScenarioError, compile_scenario, load_scenario,
-                            registry)
+    from .scenarios import ScenarioError, compile_scenario, registry
     if args.list_scenarios:
         for name in registry.names():
             print(f"{name:<16} {registry.description(name)}")
@@ -132,21 +177,44 @@ def _run_scenario_command(args: argparse.Namespace) -> int:
         raise SystemExit("scenario: give a registered name or a spec file "
                          "path (or --list)")
     try:
-        # Registry names win over the filesystem, so a stray directory
-        # named `fig8` in cwd cannot shadow the registered scenario;
-        # spell file paths with an extension or a separator.
-        if args.scenario in registry.names():
-            spec = registry.get(args.scenario)
-        elif os.path.exists(args.scenario) or args.scenario.endswith(
-                (".json", ".yaml", ".yml")):
-            spec = load_scenario(args.scenario)
-        else:
-            spec = registry.get(args.scenario)  # raises with the names
+        spec = _resolve_scenario_spec(args.scenario)
         if args.seed is not None:
             spec = dataclasses.replace(spec, seed=args.seed)
         result = compile_scenario(spec).run()
     except ScenarioError as exc:
         raise SystemExit(f"scenario: {exc}") from exc
+    print(result.render(), end="")
+    return 0
+
+
+def _run_fleet_command(args: argparse.Namespace) -> int:
+    """Handle ``repro fleet [name-or-file] [--list] [--shard-leaves N]``."""
+    import dataclasses
+
+    from .scenarios import ScenarioError, compile_scenario, registry
+    if args.list_scenarios:
+        for name in registry.names():
+            if registry.get(name).fleet is not None:
+                print(f"{name:<16} {registry.description(name)}")
+        return 0
+    if args.scenario is None:
+        raise SystemExit("fleet: give a registered fleet scenario name or "
+                         "a spec file path (or --list)")
+    try:
+        spec = _resolve_scenario_spec(args.scenario)
+        if spec.fleet is None:
+            raise SystemExit(
+                f"fleet: scenario {spec.name!r} is not fleet-shaped; run "
+                f"it with the 'scenario' command instead")
+        if args.seed is not None:
+            spec = dataclasses.replace(spec, seed=args.seed)
+        if args.shard_leaves is not None:
+            spec = dataclasses.replace(
+                spec, fleet=dataclasses.replace(
+                    spec.fleet, shard_leaves=args.shard_leaves))
+        result = compile_scenario(spec).run()
+    except ScenarioError as exc:
+        raise SystemExit(f"fleet: {exc}") from exc
     print(result.render(), end="")
     return 0
 
@@ -157,6 +225,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     _apply_jobs(args)
     if args.experiment == "scenario":
         return _run_scenario_command(args)
+    if args.experiment == "fleet":
+        return _run_fleet_command(args)
     if args.experiment == "quickstart":
         quickstart(seed=args.seed)
         return 0
@@ -164,6 +234,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in sorted(EXPERIMENTS):
             print(f"==== {name} " + "=" * 50)
             EXPERIMENTS[name]()
+        return 0
+    if args.experiment == "fig8":
+        from .scenarios import ScenarioError
+        try:
+            fig8_cluster.main(leaves=args.leaves, engine=args.engine)
+        except ScenarioError as exc:
+            raise SystemExit(f"fig8: {exc}") from exc
         return 0
     EXPERIMENTS[args.experiment]()
     return 0

@@ -77,6 +77,46 @@ class ClusterHistory(ColumnarHistory):
         return self.metrics.minimum("emu", skip_s=skip_s)
 
 
+def baseline_tail_ms(lc, load: float) -> float:
+    """Tail latency of ``lc`` alone on its machine at ``load``.
+
+    The no-colocation operating point the cluster SLO targets are
+    calibrated from (§5.3): one server, the LC workload's full
+    allocation, no BE anywhere.
+    """
+    from ..hardware.server import Server
+    from ..workloads.base import Allocation, spread_cores
+    server = Server(lc.spec)
+    alloc = Allocation(cores_by_socket=spread_cores(
+        lc.spec.total_cores, lc.spec))
+    usages = server.resolve([lc.demand(load, alloc)])
+    return lc.tail_latency_ms(
+        load, usages[lc.name],
+        link_utilization=server.telemetry.link_utilization)
+
+
+def cluster_slo_targets(spec: MachineSpec, leaves: int,
+                        lc_name: str = "websearch") -> tuple:
+    """(leaf SLO, root SLO) in ms for a fan-out cluster of ``leaves``.
+
+    The root SLO is the baseline's µ/30s at 90% load without
+    colocation (§5.3) — which, through the fan-out, already includes
+    the straggler amplification of the worst leaf and its measurement
+    noise.  The uniform leaf target is the per-leaf tail at that
+    operating point.  One definition shared by
+    :class:`WebsearchCluster` and the fleet's shard workers, so a
+    sharded cluster can never calibrate different targets than the
+    monolithic run it partitions.
+    """
+    reference = make_lc_workload(lc_name, spec)
+    leaf_slo_ms = baseline_tail_ms(reference, load=0.90)
+    noise_sigma = reference.profile.noise_sigma
+    # E[max of n lognormal noise draws] grows ~ sigma * sqrt(2 ln n).
+    straggler_noise = float(np.exp(
+        noise_sigma * np.sqrt(2.0 * np.log(max(2, leaves)))))
+    return leaf_slo_ms, leaf_slo_ms * straggler_noise
+
+
 class WebsearchCluster:
     """A managed (or baseline) websearch minicluster."""
 
@@ -99,21 +139,13 @@ class WebsearchCluster:
         self.managed = managed
         self.engine = engine
 
-        # SLO targets.  The root SLO is the baseline's µ/30s at 90% load
-        # without colocation (§5.3) — which, through the fan-out, already
-        # includes the straggler amplification of the worst leaf and its
-        # measurement noise.  The uniform leaf target is the per-leaf
-        # tail at that operating point.
-        reference = make_lc_workload("websearch", self.spec)
-        self.leaf_slo_ms = self._baseline_tail_ms(reference, load=0.90)
-        noise_sigma = reference.profile.noise_sigma
-        # E[max of n lognormal noise draws] grows ~ sigma * sqrt(2 ln n).
-        straggler_noise = float(np.exp(
-            noise_sigma * np.sqrt(2.0 * np.log(max(2, leaves)))))
-        self.root_slo_ms = self.leaf_slo_ms * straggler_noise
+        # SLO targets (see cluster_slo_targets for the calibration).
+        self.leaf_slo_ms, self.root_slo_ms = cluster_slo_targets(
+            self.spec, leaves)
 
         # "Heracles shares the same offline model ... across all leaves."
-        shared_model = profile_lc_dram_model(reference) if managed else None
+        shared_model = profile_lc_dram_model(
+            make_lc_workload("websearch", self.spec)) if managed else None
 
         self.batch: Optional[BatchColocationSim] = None
         self.leaves: List[Leaf] = []
@@ -158,18 +190,6 @@ class WebsearchCluster:
         self.history = ClusterHistory()
         self.time_s = 0.0
         self._tick_index = 0
-
-    @staticmethod
-    def _baseline_tail_ms(lc, load: float) -> float:
-        from ..hardware.server import Server
-        from ..workloads.base import Allocation, spread_cores
-        server = Server(lc.spec)
-        alloc = Allocation(cores_by_socket=spread_cores(
-            lc.spec.total_cores, lc.spec))
-        usages = server.resolve([lc.demand(load, alloc)])
-        return lc.tail_latency_ms(
-            load, usages[lc.name],
-            link_utilization=server.telemetry.link_utilization)
 
     # ------------------------------------------------------------------
 

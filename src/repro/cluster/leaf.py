@@ -119,13 +119,17 @@ class Leaf:
         return self.sim.history.last().emu
 
 
-def make_leaf_lc(spec: MachineSpec, leaf_slo_ms: float):
-    """The websearch instance every leaf runs: uniform leaf SLO target.
+def make_leaf_lc(spec: MachineSpec, leaf_slo_ms: float,
+                 lc_name: str = "websearch"):
+    """The LC instance every leaf runs: uniform leaf SLO target.
 
-    One definition shared by standalone leaves and the cluster's batch
-    path, so the leaf-SLO override can never diverge between them.
+    One definition shared by standalone leaves, the cluster's batch
+    path, and the fleet shard workers, so the leaf-SLO override can
+    never diverge between them.  ``lc_name`` defaults to the §5.3
+    websearch service; fleet clusters may shard any registered LC
+    workload.
     """
-    lc = make_lc_workload("websearch", spec)
+    lc = make_lc_workload(lc_name, spec)
     lc.profile = _with_slo(lc.profile, leaf_slo_ms)
     return lc
 

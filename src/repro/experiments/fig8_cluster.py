@@ -121,9 +121,23 @@ def run_fig8(leaves: int = 12,
                       root_slo_ms=result.root_slo_ms)
 
 
-def main() -> None:
-    """Regenerate the Figure 8 report (the registered ``fig8`` scenario)."""
-    print(compile_scenario(registry.get("fig8")).run().render(), end="")
+def main(leaves: Optional[int] = None,
+         engine: Optional[str] = None) -> None:
+    """Regenerate the Figure 8 report (the registered ``fig8`` scenario).
+
+    Args:
+        leaves: override the registered scenario's leaf count (the CLI
+            exposes this as ``--leaves``; validated by the spec, so
+            zero or negative counts fail loudly).
+        engine: override the leaf backend (``batch`` or ``scalar``;
+            the CLI's ``--engine``).
+    """
+    if leaves is None and engine is None:
+        spec = registry.get("fig8")
+    else:
+        spec = fig8_scenario(leaves=leaves if leaves is not None else 8,
+                             engine=engine or "batch")
+    print(compile_scenario(spec).run().render(), end="")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,38 @@
+"""Fleet layer: sharded simulation of thousands of servers.
+
+Composes the pieces the earlier layers built — the vectorized
+:class:`~repro.sim.batch.BatchColocationSim`, the process-pool sweep
+runner, and the columnar telemetry stack — into a fleet abstraction:
+many heterogeneous clusters, each partitioned into homogeneous shards
+that run in parallel and roll up into bit-exact per-cluster histories
+plus fleet-level columns.
+
+Three entry points::
+
+    from repro.fleet import ClusterPlan, ShardedFleetSim
+
+    fleet = ShardedFleetSim([ClusterPlan(...), ...], shard_leaves=64)
+    result = fleet.run(duration_s=12 * 3600.0)
+    result.summary(skip_s=600.0)
+
+Declaratively, the same fleets are scenario specs (``fleet:`` shape,
+see ``docs/scenarios.md``) runnable as
+``python -m repro.cli fleet <name-or-file>``.
+"""
+
+from .aggregate import (FleetTelemetry, assemble_cluster,
+                        build_fleet_telemetry, fleet_emu_row,
+                        rollup_cluster, weighted_root_latency_row)
+from .shard import (ShardResult, ShardTask, overlapping_seed_ranges,
+                    partition_leaves, run_shard)
+from .simulator import (DEFAULT_SHARD_LEAVES, ClusterOutcome, ClusterPlan,
+                        FleetResult, ShardedFleetSim)
+
+__all__ = [
+    "DEFAULT_SHARD_LEAVES",
+    "ClusterOutcome", "ClusterPlan", "FleetResult", "FleetTelemetry",
+    "ShardResult", "ShardTask", "ShardedFleetSim",
+    "assemble_cluster", "build_fleet_telemetry", "fleet_emu_row",
+    "overlapping_seed_ranges", "partition_leaves", "rollup_cluster",
+    "run_shard", "weighted_root_latency_row",
+]

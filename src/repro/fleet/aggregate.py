@@ -1,0 +1,267 @@
+"""Fleet telemetry roll-up: shards → clusters → fleet columns.
+
+Two stages, both deterministic and shard-count-independent:
+
+1. :func:`rollup_cluster` reassembles a cluster's per-tick leaf
+   telemetry from its shard slices (concatenated in global leaf order)
+   and replays the *literal* recording protocol of
+   :class:`~repro.cluster.cluster.WebsearchCluster` — the same
+   :class:`~repro.cluster.root.RootAggregator` window arithmetic, the
+   same tick-counted record cadence, the same ``np.mean`` EMU
+   reduction — so the resulting :class:`~repro.cluster.cluster.
+   ClusterHistory` is bit-identical to the one a monolithic
+   single-process run of the same cluster produces, for any shard
+   partition.
+
+2. :func:`build_fleet_telemetry` stacks the per-cluster histories into
+   one fleet-level :class:`~repro.metrics.columns.BatchColumnStore`
+   (clusters on the member axis, record ticks on the row axis) and
+   derives the fleet aggregates: leaf-weighted fleet EMU and
+   load-weighted root latency, stored as shared columns alongside the
+   per-cluster ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..cluster.cluster import ClusterHistory, ClusterRecord
+from ..cluster.root import RootAggregator
+from ..metrics.columns import BatchColumnStore
+from ..metrics.windows import WindowedMetrics
+from ..workloads.traces import LoadTrace
+from .shard import ShardResult
+
+
+def assemble_cluster(shards: Sequence[ShardResult],
+                     total_leaves: Optional[int] = None):
+    """Concatenate one cluster's shard slices into leaf-ordered arrays.
+
+    Returns ``(times_s, tails_ms, emus)`` with the leaf axis in global
+    leaf order.  Shards must tile the population contiguously — from
+    leaf 0 up to ``total_leaves`` when given — and agree on the tick
+    clock; all of it is asserted, since a violation (a missing shard,
+    say) would silently break the bit-identity contract.
+    """
+    ordered = sorted(shards, key=lambda s: s.leaf_lo)
+    lo = ordered[0].leaf_lo
+    if lo != 0:
+        raise ValueError(f"cluster {ordered[0].cluster!r}: shard coverage "
+                         f"starts at leaf {lo}, not 0")
+    if total_leaves is not None and ordered[-1].leaf_hi != total_leaves:
+        raise ValueError(
+            f"cluster {ordered[0].cluster!r}: shard coverage ends at leaf "
+            f"{ordered[-1].leaf_hi}, not the cluster's {total_leaves}")
+    for prev, nxt in zip(ordered, ordered[1:]):
+        if prev.leaf_hi != nxt.leaf_lo:
+            raise ValueError(
+                f"cluster {prev.cluster!r}: shards [{prev.leaf_lo}, "
+                f"{prev.leaf_hi}) and [{nxt.leaf_lo}, {nxt.leaf_hi}) do "
+                f"not tile the leaf population")
+        if not np.array_equal(prev.times_s, nxt.times_s):
+            raise ValueError(f"cluster {prev.cluster!r}: shards disagree "
+                             f"on the tick clock")
+    times = ordered[0].times_s
+    tails = np.concatenate([s.tails_ms for s in ordered], axis=1)
+    emus = np.concatenate([s.emus for s in ordered], axis=1)
+    return times, tails, emus
+
+
+def rollup_cluster(times_s: np.ndarray,
+                   tails_ms: np.ndarray,
+                   emus: np.ndarray,
+                   trace: LoadTrace,
+                   root_slo_ms: float,
+                   record_period_s: float = 30.0,
+                   dt_s: float = 1.0) -> ClusterHistory:
+    """Replay the cluster recording protocol over assembled telemetry.
+
+    Args:
+        times_s: (T,) tick clock (time at the *start* of each tick,
+            matching ``WebsearchCluster.tick``'s use of ``time_s``).
+        tails_ms / emus: (T, leaves) per-tick leaf telemetry in global
+            leaf order.
+        trace: the cluster's shared load trace (sampled at record
+            ticks, exactly as the monolithic cluster samples it).
+        root_slo_ms: the cluster root SLO the fractions normalize by.
+        record_period_s / dt_s: record cadence and tick size — the
+            record interval is tick-counted
+            (``max(1, round(record_period_s / dt_s))``), the same
+            derivation the cluster driver uses.
+
+    Returns:
+        A :class:`ClusterHistory` bit-identical to the one the
+        monolithic cluster run would have recorded.
+    """
+    if dt_s <= 0:
+        raise ValueError("dt must be positive")
+    root = RootAggregator()
+    history = ClusterHistory()
+    record_every = max(1, int(round(record_period_s / dt_s)))
+    for k in range(len(times_s)):
+        t = float(times_s[k])
+        root.record(t, tails_ms[k].tolist())
+        if k % record_every == 0:
+            windowed = root.windowed_latency_ms()
+            history.append(ClusterRecord(
+                t_s=t,
+                load=trace.clipped(t),
+                root_latency_ms=windowed,
+                root_slo_fraction=windowed / root_slo_ms,
+                emu=float(np.mean(emus[k])),
+            ))
+    return history
+
+
+class FleetTelemetry:
+    """Fleet-level columns over the per-cluster record streams.
+
+    One :class:`BatchColumnStore` with the fleet's clusters on the
+    member axis: per-cluster columns ``load``, ``root_latency_ms``,
+    ``root_slo_fraction`` and ``emu`` (each ``(T, C)``), the shared
+    record clock ``t_s``, and two derived shared columns —
+    ``fleet_emu`` (leaf-weighted mean EMU across clusters) and
+    ``weighted_root_latency_ms`` (root latency weighted by each
+    cluster's offered load x leaf count, i.e. by where the traffic
+    actually is).  Aggregates route through the shared
+    :class:`~repro.metrics.windows.WindowedMetrics` stack like every
+    other history in the repo.
+    """
+
+    #: Per-cluster (member-axis) fields mirrored from ClusterHistory.
+    CLUSTER_FIELDS = ("load", "root_latency_ms", "root_slo_fraction", "emu")
+    #: Derived fleet-wide (shared-axis) fields.
+    FLEET_FIELDS = ("fleet_emu", "weighted_root_latency_ms")
+
+    def __init__(self, store: BatchColumnStore,
+                 cluster_names: Sequence[str],
+                 cluster_leaves: Sequence[int]):
+        self._store = store
+        self.cluster_names = list(cluster_names)
+        self.cluster_leaves = list(cluster_leaves)
+        self.metrics = WindowedMetrics(self.fleet_column, self.times)
+
+    @property
+    def store(self) -> BatchColumnStore:
+        """The backing (T, C) column store."""
+        return self._store
+
+    def __len__(self) -> int:
+        """Number of recorded fleet rows (record-cadence ticks)."""
+        return len(self._store)
+
+    def times(self) -> np.ndarray:
+        """The shared record clock, shape (T,)."""
+        return self._store.column("t_s")
+
+    def column(self, name: str) -> np.ndarray:
+        """One per-cluster field as a (T, C) float column."""
+        return self._store.column(name)
+
+    def cluster_column(self, name: str, cluster: str) -> np.ndarray:
+        """One cluster's (T,) slice of a per-cluster field."""
+        index = self.cluster_names.index(cluster)
+        return self._store.member_column(name, index)
+
+    def fleet_column(self, name: str) -> np.ndarray:
+        """One derived fleet-wide field as a (T,) float column."""
+        if name not in self.FLEET_FIELDS:
+            raise KeyError(f"not a fleet-wide field: {name!r} (choose "
+                           f"from {', '.join(self.FLEET_FIELDS)})")
+        return self._store.column(name)
+
+    def mean_fleet_emu(self, skip_s: float = 0.0) -> float:
+        """Mean leaf-weighted fleet EMU after ``skip_s`` seconds."""
+        return self.metrics.mean("fleet_emu", skip_s=skip_s)
+
+    def min_fleet_emu(self, skip_s: float = 0.0) -> float:
+        """Minimum leaf-weighted fleet EMU after ``skip_s`` seconds."""
+        return self.metrics.minimum("fleet_emu", skip_s=skip_s)
+
+    def mean_weighted_root_latency_ms(self, skip_s: float = 0.0) -> float:
+        """Mean load-weighted root latency (ms) after ``skip_s``."""
+        return self.metrics.mean("weighted_root_latency_ms", skip_s=skip_s)
+
+
+def fleet_emu_row(emus: np.ndarray, leaves: np.ndarray) -> np.ndarray:
+    """Leaf-weighted fleet EMU per record tick.
+
+    Args:
+        emus: (T, C) per-cluster EMU.
+        leaves: (C,) leaf counts.
+
+    Returns:
+        (T,) fleet EMU — each cluster's EMU weighted by its share of
+        the fleet's leaves, so a 400-leaf cluster moves the fleet
+        number four times as far as a 100-leaf one.
+    """
+    weights = np.asarray(leaves, dtype=float)
+    return (np.asarray(emus, dtype=float) @ weights) / weights.sum()
+
+
+def weighted_root_latency_row(latency_ms: np.ndarray,
+                              loads: np.ndarray,
+                              leaves: np.ndarray) -> np.ndarray:
+    """Load-weighted fleet root latency per record tick.
+
+    Each cluster's root latency is weighted by ``load x leaves`` — its
+    instantaneous share of the fleet's offered traffic — so a cluster
+    at its diurnal peak dominates the fleet latency figure while a
+    trough cluster barely moves it.  Ticks where the whole fleet
+    offers zero load fall back to the unweighted cluster mean.
+    """
+    latency = np.asarray(latency_ms, dtype=float)
+    weights = np.asarray(loads, dtype=float) * np.asarray(leaves,
+                                                          dtype=float)
+    totals = weights.sum(axis=1)
+    safe = np.where(totals > 0, totals, 1.0)
+    weighted = (latency * weights).sum(axis=1) / safe
+    fallback = latency.mean(axis=1)
+    return np.where(totals > 0, weighted, fallback)
+
+
+def build_fleet_telemetry(histories: Dict[str, ClusterHistory],
+                          cluster_names: Sequence[str],
+                          cluster_leaves: Sequence[int]) -> FleetTelemetry:
+    """Stack per-cluster histories into the fleet column store.
+
+    All clusters share one record cadence (the fleet runs them for the
+    same duration at the same ``dt_s`` and record period), which is
+    asserted rather than assumed.
+    """
+    names = list(cluster_names)
+    lengths = {name: len(histories[name]) for name in names}
+    if len(set(lengths.values())) != 1:
+        raise ValueError(f"clusters disagree on record count: {lengths}")
+    t = histories[names[0]].times()
+    for name in names[1:]:
+        if not np.array_equal(histories[name].times(), t):
+            raise ValueError(
+                f"clusters {names[0]!r} and {name!r} disagree on the "
+                f"record clock (mixed dt_s or record periods?)")
+    per_cluster = {
+        field: np.stack([histories[name].column(field) for name in names],
+                        axis=1)
+        for field in FleetTelemetry.CLUSTER_FIELDS
+    }
+    leaves = np.asarray(cluster_leaves, dtype=float)
+    fleet_emu = fleet_emu_row(per_cluster["emu"], leaves)
+    weighted = weighted_root_latency_row(
+        per_cluster["root_latency_ms"], per_cluster["load"], leaves)
+
+    fields = [("t_s", np.float64)]
+    fields += [(name, np.float64) for name in FleetTelemetry.CLUSTER_FIELDS]
+    fields += [(name, np.float64) for name in FleetTelemetry.FLEET_FIELDS]
+    store = BatchColumnStore(
+        fields, n=len(names),
+        shared=("t_s",) + FleetTelemetry.FLEET_FIELDS)
+    for k in range(len(t)):
+        row = {field: per_cluster[field][k]
+               for field in FleetTelemetry.CLUSTER_FIELDS}
+        row["t_s"] = t[k]
+        row["fleet_emu"] = fleet_emu[k]
+        row["weighted_root_latency_ms"] = weighted[k]
+        store.append_tick(row)
+    return FleetTelemetry(store, names, cluster_leaves)

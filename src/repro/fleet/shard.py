@@ -1,0 +1,254 @@
+"""Shard execution: one homogeneous slice of a fleet cluster.
+
+A *shard* is a contiguous range of a cluster's leaf population, small
+enough to advance as one :class:`~repro.sim.batch.BatchColocationSim`
+inside a worker process.  :func:`run_shard` is the module-level
+(picklable) work unit the fleet simulator fans across
+:func:`repro.sim.runner.run_sweep`: it rebuilds the shard's workloads
+from names, attaches real per-leaf Heracles controllers (sharing one
+memoized offline DRAM model per worker process), runs the shard for
+the fleet duration, and returns the per-tick leaf telemetry the fleet
+aggregator rolls up.
+
+Equivalence contract
+--------------------
+
+A shard is a *bit-identical* slice of the monolithic cluster run it
+partitions: leaf ``i`` of the cluster gets the same LC instance (same
+uniform leaf-SLO target from
+:func:`repro.cluster.cluster.cluster_slo_targets`), the same BE task
+(``be_mix[i % len(be_mix)]``), the same tail-noise seed
+(``seed * 1000 + i``) and the same shared trace — all keyed by the
+leaf's *global* index, never its position within the shard — and the
+batched physics of a member does not depend on which other members
+share its batch.  ``tests/test_fleet.py`` enforces the contract
+against both the single-process batch cluster and the scalar
+reference engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..cluster.leaf import make_leaf_lc
+from ..core.controller import HeraclesController
+from ..hardware.spec import MachineSpec
+from ..sim.batch import BatchColocationSim
+from ..sim.runner import memoized_dram_model
+from ..workloads.best_effort import make_be_workload
+from ..workloads.traces import LoadTrace
+
+
+def overlapping_seed_ranges(clusters):
+    """First pair of clusters whose leaf-seed ranges collide, if any.
+
+    Leaf ``i`` of a cluster draws tail noise from ``seed * 1000 + i``
+    (the :class:`~repro.cluster.cluster.WebsearchCluster` convention,
+    pinned by the bit-identity contract), so two clusters whose
+    ``[seed * 1000, seed * 1000 + leaves)`` ranges overlap would share
+    noise streams leaf-for-leaf and silently correlate every
+    cross-cluster aggregate.  This is the one definition of that
+    collision — the spec layer and the engine both validate through
+    it.
+
+    Args:
+        clusters: iterable of ``(seed, leaves, name)`` tuples.
+
+    Returns:
+        The offending ``(name_a, name_b)`` pair, or ``None``.
+    """
+    ranges = sorted((seed * 1000, seed * 1000 + leaves, name)
+                    for seed, leaves, name in clusters)
+    for (_, hi_a, a), (lo_b, _, b) in zip(ranges, ranges[1:]):
+        if lo_b < hi_a:
+            return a, b
+    return None
+
+
+def partition_leaves(total: int, shard_leaves: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` leaf ranges of at most ``shard_leaves``.
+
+    The population splits into ``ceil(total / shard_leaves)`` shards of
+    near-equal size (the first ``total % shards`` shards take one extra
+    leaf), so no worker inherits a pathologically small remainder
+    shard.
+
+    Raises:
+        ValueError: for non-positive ``total`` or ``shard_leaves``.
+    """
+    if total <= 0:
+        raise ValueError(
+            f"cannot partition {total} leaves: leaf count must be positive")
+    if shard_leaves <= 0:
+        raise ValueError(
+            f"shard_leaves={shard_leaves}: shard size must be positive "
+            f"(got zero or negative)")
+    shards = -(-total // shard_leaves)  # ceil division
+    base, extra = divmod(total, shards)
+    ranges = []
+    lo = 0
+    for i in range(shards):
+        hi = lo + base + (1 if i < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything a worker needs to run one shard (picklable).
+
+    Args:
+        cluster: owning cluster's name (aggregation key).
+        cluster_index: owning cluster's position in the fleet.
+        shard_index: this shard's position within the cluster.
+        leaf_lo / leaf_hi: global leaf index range ``[lo, hi)``.
+        total_leaves: the whole cluster's population; bounds the
+            shard's leaf range (and is what SLO targets are calibrated
+            from — never the shard's own size).
+        lc_name: LC workload every leaf runs.
+        be_mix: BE task names, assigned ``be_mix[i % len(be_mix)]`` by
+            global leaf index.
+        leaf_slo_ms: uniform leaf latency target (precomputed by the
+            fleet from :func:`~repro.cluster.cluster.
+            cluster_slo_targets`).
+        spec: the cluster's machine description.
+        trace: the cluster's shared offered-load trace.
+        managed: attach a Heracles instance per leaf.
+        seed: cluster base seed; leaf ``i`` draws noise from
+            ``seed * 1000 + i``.
+        duration_s / dt_s: run length and tick size.
+    """
+
+    cluster: str
+    cluster_index: int
+    shard_index: int
+    leaf_lo: int
+    leaf_hi: int
+    total_leaves: int
+    lc_name: str
+    be_mix: Tuple[str, ...]
+    leaf_slo_ms: float
+    spec: MachineSpec
+    trace: LoadTrace
+    managed: bool
+    seed: int
+    duration_s: float
+    dt_s: float
+
+    @property
+    def leaves(self) -> int:
+        """Number of leaves in this shard."""
+        return self.leaf_hi - self.leaf_lo
+
+
+@dataclass
+class ShardResult:
+    """One shard's run: per-tick leaf telemetry plus its own summary.
+
+    ``tails_ms`` and ``emus`` are ``(T, leaves)`` float64 arrays in
+    global leaf order; ``times_s`` is the shared ``(T,)`` tick clock.
+    ``summary`` holds the shard-local aggregates (mean EMU, worst leaf
+    tail) the fleet reports per shard — and which the differential
+    benchmark pins bit-identical across execution plans.
+    """
+
+    cluster: str
+    cluster_index: int
+    shard_index: int
+    leaf_lo: int
+    leaf_hi: int
+    times_s: np.ndarray
+    tails_ms: np.ndarray
+    emus: np.ndarray
+    summary: Dict[str, float]
+
+    def stripped(self) -> "ShardResult":
+        """A summary-only copy with the bulk telemetry dropped.
+
+        The fleet roll-up consumes the (T, n) arrays once and then
+        keeps only this stripped record per shard — a full-fidelity
+        1000-leaf 12-hour run would otherwise pin ~0.7 GB of raw leaf
+        telemetry inside the result object for its whole lifetime.
+        """
+        empty = np.zeros(0)
+        return ShardResult(
+            cluster=self.cluster, cluster_index=self.cluster_index,
+            shard_index=self.shard_index, leaf_lo=self.leaf_lo,
+            leaf_hi=self.leaf_hi, times_s=empty,
+            tails_ms=empty.reshape(0, 0), emus=empty.reshape(0, 0),
+            summary=dict(self.summary))
+
+
+def run_shard(task: ShardTask) -> ShardResult:
+    """Run one shard to completion (the picklable pool work unit).
+
+    Builds the shard's slice of the cluster exactly as
+    :class:`~repro.cluster.cluster.WebsearchCluster` builds the whole
+    population — shared LC instance, one BE instance per task name,
+    per-leaf seeds from the global leaf index — and advances it
+    tick-for-tick, recording every leaf's tail latency and EMU.
+    """
+    if task.duration_s <= 0:
+        raise ValueError("duration must be positive")
+    if task.dt_s <= 0:
+        raise ValueError("dt must be positive")
+    n = task.leaves
+    if n <= 0:
+        raise ValueError(f"shard [{task.leaf_lo}, {task.leaf_hi}) is empty")
+    if task.leaf_lo < 0 or task.leaf_hi > task.total_leaves:
+        raise ValueError(
+            f"shard [{task.leaf_lo}, {task.leaf_hi}) falls outside the "
+            f"cluster's {task.total_leaves}-leaf population")
+    spec = task.spec
+    lc = make_leaf_lc(spec, task.leaf_slo_ms, lc_name=task.lc_name)
+    be_names = [task.be_mix[i % len(task.be_mix)]
+                for i in range(task.leaf_lo, task.leaf_hi)]
+    be_by_name = {name: make_be_workload(name, spec)
+                  for name in sorted(set(be_names))}
+    batch = BatchColocationSim(
+        lc=lc, trace=task.trace,
+        bes=[be_by_name[name] for name in be_names],
+        spec=spec,
+        seeds=[task.seed * 1000 + i
+               for i in range(task.leaf_lo, task.leaf_hi)],
+        record_history=False)
+    if task.managed:
+        # One offline model per (LC, machine) pair per worker process;
+        # profiling is deterministic, so every process derives the same
+        # model the monolithic cluster would share across its leaves.
+        model = memoized_dram_model(task.lc_name, spec)
+        for member in batch.members:
+            HeraclesController.for_sim(member, dram_model=model)
+
+    steps = int(round(task.duration_s / task.dt_s))
+    times = np.empty(steps)
+    tails = np.empty((steps, n))
+    emus = np.empty((steps, n))
+    for k in range(steps):
+        result = batch.tick(task.dt_s)
+        times[k] = result.t_s
+        tails[k] = result.tail_latency_ms
+        emus[k] = result.emu
+    if steps:
+        summary = {
+            "mean_emu": float(emus.mean()),
+            "min_emu": float(emus.min()),
+            "worst_tail_ms": float(tails.max()),
+            "mean_tail_ms": float(tails.mean()),
+        }
+    else:
+        # duration_s / dt_s rounded to zero ticks: an empty run, like
+        # the cluster driver's, reporting the metric layer's
+        # nothing-recorded value (0.0) instead of crashing on empty
+        # reductions.
+        summary = {"mean_emu": 0.0, "min_emu": 0.0,
+                   "worst_tail_ms": 0.0, "mean_tail_ms": 0.0}
+    return ShardResult(
+        cluster=task.cluster, cluster_index=task.cluster_index,
+        shard_index=task.shard_index, leaf_lo=task.leaf_lo,
+        leaf_hi=task.leaf_hi, times_s=times, tails_ms=tails, emus=emus,
+        summary=summary)

@@ -1,0 +1,315 @@
+"""The sharded fleet simulator: thousands of leaves across clusters.
+
+The paper's §5.3 minicluster stops at tens of homogeneous leaves
+behind one fan-out root.  :class:`ShardedFleetSim` scales the same
+construction to fleet size: a *fleet* is a set of clusters — each with
+its own machine spec, LC workload, BE mix, leaf count, and
+(phase-shifted) load trace — and each cluster's leaf population is
+partitioned into homogeneous *shards* that advance as independent
+:class:`~repro.sim.batch.BatchColocationSim` instances fanned across
+the :func:`repro.sim.runner.run_sweep` process pool (worker count via
+``REPRO_JOBS`` / ``--jobs``, like every other sweep).
+
+Per-shard telemetry rolls up losslessly: each cluster's
+:class:`~repro.cluster.cluster.ClusterHistory` is reconstructed
+bit-identically to a monolithic single-process run of that cluster
+(see :mod:`repro.fleet.aggregate`), and the per-cluster streams stack
+into fleet-level :class:`~repro.metrics.columns.BatchColumnStore`
+columns (fleet EMU, per-cluster SLO fractions, load-weighted root
+latency).
+
+Typical use::
+
+    from repro.fleet import ClusterPlan, ShardedFleetSim
+    from repro.workloads.traces import websearch_cluster_trace
+
+    fleet = ShardedFleetSim([
+        ClusterPlan(name="us-east", leaves=400,
+                    trace=websearch_cluster_trace(seed=1), seed=1),
+        ClusterPlan(name="eu-west", leaves=200,
+                    trace=websearch_cluster_trace(seed=2), seed=2),
+    ], shard_leaves=64)
+    result = fleet.run(duration_s=3600.0)
+    print(result.telemetry.mean_fleet_emu(skip_s=600.0))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cluster.cluster import ClusterHistory, cluster_slo_targets
+from ..hardware.spec import MachineSpec, default_machine_spec
+from ..sim.runner import run_sweep
+from ..workloads.best_effort import BE_PROFILES
+from ..workloads.latency_critical import LC_PROFILES
+from ..workloads.traces import LoadTrace
+from .aggregate import (FleetTelemetry, assemble_cluster,
+                        build_fleet_telemetry, rollup_cluster)
+from .shard import (ShardResult, ShardTask, overlapping_seed_ranges,
+                    partition_leaves, run_shard)
+
+#: Default shard size: large enough that the vectorized physics
+#: amortizes the per-tick fixed cost, small enough that a typical
+#: worker pool gets several shards per core to balance.
+DEFAULT_SHARD_LEAVES = 64
+
+
+@dataclass(frozen=True)
+class ClusterPlan:
+    """One homogeneous cluster of a fleet (the engine-level plan).
+
+    Args:
+        name: aggregation/reporting key (unique within the fleet).
+        leaves: leaf population behind this cluster's fan-out root
+            (at least 2, like :class:`~repro.cluster.cluster.
+            WebsearchCluster`).
+        trace: the cluster's shared offered-load trace (wrap in
+            :class:`~repro.workloads.traces.PhasedTrace` for
+            follow-the-sun fleets).
+        lc_name: LC workload every leaf runs.
+        be_mix: BE task names cycled across leaves by global index;
+            the default matches the §5.3 brain/streetview alternation.
+        spec: machine description (``None`` = the paper's server).
+        managed: run Heracles on every leaf (``False`` = baseline
+            cluster, BE disabled).
+        seed: cluster base seed; leaf ``i`` uses ``seed * 1000 + i``.
+    """
+
+    name: str
+    leaves: int
+    trace: LoadTrace
+    lc_name: str = "websearch"
+    be_mix: Tuple[str, ...] = ("brain", "streetview")
+    spec: Optional[MachineSpec] = None
+    managed: bool = True
+    seed: int = 0
+
+    def validate(self) -> None:
+        """Check leaf count, workload names, and the BE mix."""
+        if self.leaves < 2:
+            raise ValueError(
+                f"cluster {self.name!r}: leaves={self.leaves} — a cluster "
+                f"needs at least two leaves (zero or negative counts are "
+                f"invalid)")
+        if self.lc_name not in LC_PROFILES:
+            raise ValueError(
+                f"cluster {self.name!r}: unknown LC workload "
+                f"{self.lc_name!r}; choose from "
+                f"{', '.join(sorted(LC_PROFILES))}")
+        if not self.be_mix:
+            raise ValueError(f"cluster {self.name!r}: be_mix must name at "
+                             f"least one BE task")
+        for be in self.be_mix:
+            if be not in BE_PROFILES:
+                raise ValueError(
+                    f"cluster {self.name!r}: unknown BE workload {be!r}; "
+                    f"choose from {', '.join(sorted(BE_PROFILES))}")
+
+
+@dataclass
+class ClusterOutcome:
+    """One cluster's rolled-up run within a fleet result.
+
+    ``shards`` holds summary-only shard records (identity, leaf range,
+    per-shard aggregates); the bulk per-tick telemetry is consumed by
+    the roll-up and dropped, so results stay light even for
+    full-fidelity fleet runs.
+    """
+
+    name: str
+    leaves: int
+    managed: bool
+    leaf_slo_ms: float
+    root_slo_ms: float
+    history: ClusterHistory
+    shards: List[ShardResult] = field(default_factory=list)
+
+    def shard_summaries(self) -> List[Dict[str, float]]:
+        """Per-shard summary dicts, in leaf order."""
+        return [dict(s.summary, leaf_lo=s.leaf_lo, leaf_hi=s.leaf_hi)
+                for s in sorted(self.shards, key=lambda s: s.leaf_lo)]
+
+
+@dataclass
+class FleetResult:
+    """Everything a fleet run produced.
+
+    ``clusters`` holds each cluster's bit-exact
+    :class:`ClusterHistory` roll-up plus summary-only shard records;
+    ``telemetry`` is the fleet-level column store.
+    """
+
+    clusters: List[ClusterOutcome]
+    telemetry: FleetTelemetry
+    duration_s: float
+    dt_s: float
+
+    def cluster(self, name: str) -> ClusterOutcome:
+        """Look up one cluster's outcome by name."""
+        for outcome in self.clusters:
+            if outcome.name == name:
+                return outcome
+        raise KeyError(f"no cluster named {name!r} in this fleet")
+
+    def summary(self, skip_s: float = 0.0,
+                slo_window_s: float = 60.0) -> Dict[str, object]:
+        """Deterministic fleet summary (the seed-determinism contract).
+
+        Args:
+            skip_s: warm-up prefix excluded from every aggregate.
+            slo_window_s: window for the per-cluster worst-window SLO.
+
+        Returns:
+            Plain floats only, so two runs of the same spec + seed can
+            be compared with ``==`` — the determinism regression tests
+            do exactly that.
+        """
+        clusters = {}
+        for outcome in self.clusters:
+            history = outcome.history
+            clusters[outcome.name] = {
+                "leaves": outcome.leaves,
+                "root_slo_ms": outcome.root_slo_ms,
+                "mean_emu": history.mean_emu(skip_s=skip_s),
+                "min_emu": history.min_emu(skip_s=skip_s),
+                "max_root_slo_fraction":
+                    history.max_root_slo_fraction(skip_s=skip_s),
+                "worst_window_slo": history.metrics.worst_window(
+                    "root_slo_fraction", window_s=slo_window_s,
+                    skip_s=skip_s),
+            }
+        return {
+            "leaves": sum(o.leaves for o in self.clusters),
+            "fleet_emu": self.telemetry.mean_fleet_emu(skip_s=skip_s),
+            "min_fleet_emu": self.telemetry.min_fleet_emu(skip_s=skip_s),
+            "weighted_root_latency_ms":
+                self.telemetry.mean_weighted_root_latency_ms(skip_s=skip_s),
+            "clusters": clusters,
+        }
+
+
+class ShardedFleetSim:
+    """Partition a fleet into shards and run them across the pool.
+
+    Args:
+        clusters: the fleet's cluster plans (unique names).
+        shard_leaves: maximum leaves per shard; each cluster splits
+            into ``ceil(leaves / shard_leaves)`` near-equal shards.
+            Must be positive — zero or negative shard sizes are
+            rejected eagerly.
+        record_period_s: cluster record cadence (30 s in the paper).
+    """
+
+    def __init__(self, clusters: Sequence[ClusterPlan],
+                 shard_leaves: int = DEFAULT_SHARD_LEAVES,
+                 record_period_s: float = 30.0):
+        clusters = list(clusters)
+        if not clusters:
+            raise ValueError("a fleet needs at least one cluster")
+        if shard_leaves <= 0:
+            raise ValueError(
+                f"shard_leaves={shard_leaves}: shard size must be positive "
+                f"(got zero or negative)")
+        if record_period_s <= 0:
+            raise ValueError("record_period_s must be positive")
+        names = [plan.name for plan in clusters]
+        if len(set(names)) != len(names):
+            raise ValueError(f"cluster names must be unique, got {names}")
+        for plan in clusters:
+            plan.validate()
+        collision = overlapping_seed_ranges(
+            (plan.seed, plan.leaves, plan.name) for plan in clusters)
+        if collision is not None:
+            raise ValueError(
+                f"clusters {collision[0]!r} and {collision[1]!r}: "
+                f"tail-noise seed ranges overlap (leaf seeds are "
+                f"seed*1000 + leaf_index; give clusters of 1000+ leaves "
+                f"more widely spaced seeds)")
+        self.clusters = clusters
+        self.shard_leaves = shard_leaves
+        self.record_period_s = record_period_s
+
+    def shard_plan(self) -> Dict[str, List[Tuple[int, int]]]:
+        """Leaf ranges each cluster will be partitioned into."""
+        return {plan.name: partition_leaves(plan.leaves, self.shard_leaves)
+                for plan in self.clusters}
+
+    def _tasks(self, duration_s: float, dt_s: float,
+               targets: Dict[str, Tuple[float, float]]) -> List[ShardTask]:
+        """Materialize the picklable shard work units."""
+        tasks = []
+        for index, plan in enumerate(self.clusters):
+            leaf_slo_ms, _ = targets[plan.name]
+            spec = plan.spec or default_machine_spec()
+            for shard_index, (lo, hi) in enumerate(
+                    partition_leaves(plan.leaves, self.shard_leaves)):
+                tasks.append(ShardTask(
+                    cluster=plan.name, cluster_index=index,
+                    shard_index=shard_index, leaf_lo=lo, leaf_hi=hi,
+                    total_leaves=plan.leaves, lc_name=plan.lc_name,
+                    be_mix=tuple(plan.be_mix), leaf_slo_ms=leaf_slo_ms,
+                    spec=spec, trace=plan.trace, managed=plan.managed,
+                    seed=plan.seed, duration_s=duration_s, dt_s=dt_s))
+        return tasks
+
+    def run(self, duration_s: float, dt_s: float = 1.0,
+            processes: Optional[int] = None) -> FleetResult:
+        """Run the whole fleet and roll up its telemetry.
+
+        Args:
+            duration_s: simulated run length (shared by every cluster).
+            dt_s: tick size (the record cadence is tick-counted from
+                it, like the cluster driver's).
+            processes: worker processes for the shard fan-out
+                (``None`` = auto via ``REPRO_JOBS`` /
+                :func:`repro.sim.runner.default_jobs`; ``1`` forces
+                the serial in-process path).
+
+        Returns:
+            The populated :class:`FleetResult`.
+        """
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if dt_s <= 0:
+            raise ValueError("dt must be positive")
+        targets = {
+            plan.name: cluster_slo_targets(
+                plan.spec or default_machine_spec(), plan.leaves,
+                lc_name=plan.lc_name)
+            for plan in self.clusters
+        }
+        tasks = self._tasks(duration_s, dt_s, targets)
+        results = run_sweep(run_shard, tasks, processes=processes)
+
+        by_cluster: Dict[str, List[ShardResult]] = {}
+        for result in results:
+            by_cluster.setdefault(result.cluster, []).append(result)
+        del results  # the raw arrays are dropped cluster by cluster below
+
+        outcomes = []
+        histories: Dict[str, ClusterHistory] = {}
+        for plan in self.clusters:
+            leaf_slo_ms, root_slo_ms = targets[plan.name]
+            # Pop each cluster's shard list so its bulk (T, n) arrays
+            # are released as soon as they are rolled up — peak memory
+            # is one cluster's telemetry, not the whole fleet's.
+            shard_results = by_cluster.pop(plan.name)
+            times, tails, emus = assemble_cluster(shard_results,
+                                                  total_leaves=plan.leaves)
+            history = rollup_cluster(
+                times, tails, emus, trace=plan.trace,
+                root_slo_ms=root_slo_ms,
+                record_period_s=self.record_period_s, dt_s=dt_s)
+            histories[plan.name] = history
+            outcomes.append(ClusterOutcome(
+                name=plan.name, leaves=plan.leaves, managed=plan.managed,
+                leaf_slo_ms=leaf_slo_ms, root_slo_ms=root_slo_ms,
+                history=history,
+                shards=[s.stripped() for s in shard_results]))
+            del shard_results, times, tails, emus
+        telemetry = build_fleet_telemetry(
+            histories, [plan.name for plan in self.clusters],
+            [plan.leaves for plan in self.clusters])
+        return FleetResult(clusters=outcomes, telemetry=telemetry,
+                           duration_s=duration_s, dt_s=dt_s)

@@ -13,7 +13,10 @@ execution layers below it.  Each scenario *shape* lowers differently:
   (so a sweep scenario is numerically identical to the hand-wired
   Figure 4-7 harness, offline-profiling memoization included);
 * ``cluster`` — managed/baseline :class:`~repro.cluster.cluster.
-  WebsearchCluster` arms dispatched through the same runner.
+  WebsearchCluster` arms dispatched through the same runner;
+* ``fleet`` — a sharded multi-cluster :class:`~repro.fleet.simulator.
+  ShardedFleetSim`, every cluster partitioned into homogeneous shards
+  fanned across the runner's process pool.
 
 Typical use::
 
@@ -34,6 +37,7 @@ from ..cluster.cluster import ClusterHistory, run_cluster_arm
 from ..core.controller import HeraclesController
 from ..experiments.common import (ColocationResult, baseline_cell,
                                   colocation_sweep)
+from ..fleet import ClusterPlan, FleetResult, ShardedFleetSim
 from ..sim.actuators import Actuators
 from ..sim.batch import BatchColocationSim
 from ..sim.engine import ColocationSim, Controller, SimHistory
@@ -139,7 +143,8 @@ class ScenarioResult:
     Which fields are populated depends on the scenario shape:
     ``members`` fills :attr:`members`; ``sweep`` fills :attr:`sweeps`
     (one :class:`SweepGrid` per LC task, in spec order); ``cluster``
-    fills :attr:`cluster_arms` and :attr:`root_slo_ms`.
+    fills :attr:`cluster_arms` and :attr:`root_slo_ms`; ``fleet``
+    fills :attr:`fleet`.
     """
 
     spec: ScenarioSpec
@@ -148,6 +153,7 @@ class ScenarioResult:
     sweeps: Dict[str, SweepGrid] = field(default_factory=dict)
     cluster_arms: Dict[str, ClusterHistory] = field(default_factory=dict)
     root_slo_ms: Optional[float] = None
+    fleet: Optional[FleetResult] = None
 
     def render(self) -> str:
         """Human-readable report (what the CLI prints)."""
@@ -155,6 +161,8 @@ class ScenarioResult:
             return self._render_sweep()
         if self.kind == "cluster":
             return self._render_cluster()
+        if self.kind == "fleet":
+            return self._render_fleet()
         return self._render_members()
 
     def _render_members(self) -> str:
@@ -202,12 +210,38 @@ class ScenarioResult:
                 f"{history.mean_emu(skip_s=skip) * 100:.0f}%")
         return "\n".join(lines) + "\n"
 
+    def _render_fleet(self) -> str:
+        skip = self.spec.warmup_s
+        summary = self.fleet.summary(skip_s=skip)
+        lines = [f"fleet {self.spec.name}: {summary['leaves']} leaves "
+                 f"across {len(self.fleet.clusters)} cluster(s), "
+                 f"{self.spec.duration_s:.0f} s "
+                 f"(warm-up {self.spec.warmup_s:.0f} s)"]
+        header = (f"{'cluster':<14} {'leaves':>6} {'mode':<8} "
+                  f"{'maxSLO':>7} {'worst60s':>9} {'EMU':>6} {'minEMU':>7}")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for outcome in self.fleet.clusters:
+            stats = summary["clusters"][outcome.name]
+            mode = "managed" if outcome.managed else "baseline"
+            lines.append(
+                f"{outcome.name:<14} {outcome.leaves:>6} {mode:<8} "
+                f"{stats['max_root_slo_fraction']:>7.0%} "
+                f"{stats['worst_window_slo']:>9.0%} "
+                f"{stats['mean_emu']:>6.0%} {stats['min_emu']:>7.0%}")
+        lines.append(
+            f"fleet EMU {summary['fleet_emu']:.0%} "
+            f"(min {summary['min_fleet_emu']:.0%}), load-weighted root "
+            f"latency {summary['weighted_root_latency_ms']:.1f} ms")
+        return "\n".join(lines) + "\n"
+
 
 class CompiledScenario:
     """A spec lowered onto the engine stack, ready to run.
 
-    ``kind`` is one of ``single`` (scalar engine), ``batch``, ``sweep``
-    or ``cluster``.  :meth:`build` materializes the simulation object
+    ``kind`` is one of ``single`` (scalar engine), ``batch``, ``sweep``,
+    ``cluster`` or ``fleet``.  :meth:`build` materializes the simulation
+    object
     for member scenarios (useful for stepping manually or attaching
     extra instrumentation); :meth:`run` executes the whole scenario and
     returns a :class:`ScenarioResult`.
@@ -220,6 +254,8 @@ class CompiledScenario:
             self.kind = "sweep"
         elif spec.cluster is not None:
             self.kind = "cluster"
+        elif spec.fleet is not None:
+            self.kind = "fleet"
         elif len(spec.members) > 1 or spec.engine == "batch":
             self.kind = "batch"
         else:
@@ -304,6 +340,8 @@ class CompiledScenario:
             return self._run_sweep(processes)
         if self.kind == "cluster":
             return self._run_cluster(processes)
+        if self.kind == "fleet":
+            return self._run_fleet(processes)
         return self._run_members()
 
     def _run_members(self) -> ScenarioResult:
@@ -343,6 +381,30 @@ class CompiledScenario:
                 spec=self.machine, seed=spec.seed, processes=processes)
             result.sweeps[lc_name] = grid
         return result
+
+    def _run_fleet(self, processes: Optional[int]) -> ScenarioResult:
+        spec = self.spec
+        fleet_spec = spec.fleet
+        plans = [
+            ClusterPlan(
+                name=cluster.name,
+                leaves=cluster.leaves,
+                trace=cluster.trace.build(
+                    default_seed=fleet_spec.cluster_seed(i, spec.seed)),
+                lc_name=cluster.lc,
+                be_mix=cluster.be_mix,
+                spec=(None if cluster.server.is_default()
+                      else cluster.server.to_machine_spec()),
+                managed=cluster.managed,
+                seed=fleet_spec.cluster_seed(i, spec.seed))
+            for i, cluster in enumerate(fleet_spec.clusters)
+        ]
+        fleet = ShardedFleetSim(
+            plans, shard_leaves=fleet_spec.shard_leaves,
+            record_period_s=fleet_spec.record_period_s)
+        outcome = fleet.run(spec.duration_s, dt_s=spec.dt_s,
+                            processes=processes)
+        return ScenarioResult(spec=spec, kind="fleet", fleet=outcome)
 
     def _run_cluster(self, processes: Optional[int]) -> ScenarioResult:
         spec = self.spec

@@ -18,8 +18,8 @@ from typing import Optional, Sequence
 
 from ..workloads.latency_critical import LC_PROFILES
 from .registry import register
-from .spec import (ClusterSpec, ScenarioSpec, SpikeSpec, SweepSpec,
-                   TraceSpec, WorkloadSpec)
+from .spec import (ClusterSpec, FleetSpec, ScenarioSpec, ServerSpec,
+                   ShardSpec, SpikeSpec, SweepSpec, TraceSpec, WorkloadSpec)
 
 #: BE tasks shown in Figure 4 (iperf omitted for websearch/ml_cluster in
 #: the paper's plot because they are network-insensitive; we compute it
@@ -65,6 +65,18 @@ def fig4_scenario(lc_tasks: Optional[Sequence[str]] = None,
             loads=tuple(loads)))
 
 
+def _compressed(seconds: float, time_compression: float) -> float:
+    """Scale a duration/period by the quick-look compression factor.
+
+    The single definition of the compression contract shared by the
+    fig8 and fleet scenario factories: factors below 1 (slow motion)
+    are rejected, everything else divides simulated time.
+    """
+    if time_compression < 1.0:
+        raise ValueError("compression must be >= 1")
+    return seconds / time_compression
+
+
 def fig8_scenario(leaves: int = 8,
                   duration_s: float = 12 * 3600.0,
                   time_compression: float = 1.0,
@@ -85,10 +97,8 @@ def fig8_scenario(leaves: int = 8,
         baseline arms, numerically identical to the hand-wired
         :func:`repro.experiments.fig8_cluster.run_fig8`.
     """
-    if time_compression < 1.0:
-        raise ValueError("compression must be >= 1")
-    period = 12 * 3600.0 / time_compression
-    duration = duration_s / time_compression
+    period = _compressed(12 * 3600.0, time_compression)
+    duration = _compressed(duration_s, time_compression)
     return ScenarioSpec(
         name="fig8",
         description="Paper Figure 8: 12-hour diurnal websearch cluster, "
@@ -153,6 +163,106 @@ def diurnal_spike_scenario() -> ScenarioSpec:
         ))
 
 
+def mixed_fleet_1k_scenario(time_compression: float = 1.0,
+                            leaves_scale: float = 1.0,
+                            shard_leaves: int = 64,
+                            seed: int = 7) -> ScenarioSpec:
+    """A 1000-leaf heterogeneous fleet riding the 12-hour diurnal day.
+
+    Four clusters, 1000 leaves total, all behind their own fan-out
+    roots: a stock websearch estate, a memory-rich websearch cluster
+    colocating DRAM-hungry BE work, a fat-NIC memkeyval edge tier with
+    network-bound BE tasks, and a small ml_cluster batch pool — each
+    with its own machine spec, BE mix, and trace seed.  This is the
+    fleet the PR-4 benchmark shards (`benchmarks/test_bench_fleet.py`).
+
+    Args:
+        time_compression: shrink factor for quick looks (trace period
+            and duration shrink together, like ``fig8``).
+        leaves_scale: scale factor on every cluster's leaf count
+            (quick looks again; 1.0 = the full 1000 leaves).
+        shard_leaves: maximum leaves per execution shard.
+        seed: base seed (cluster ``i`` defaults to ``seed + i``).
+    """
+    if not 0.0 < leaves_scale <= 1.0:
+        raise ValueError("leaves_scale must be in (0, 1]")
+    period = _compressed(12 * 3600.0, time_compression)
+    duration = period
+
+    def scaled(leaves: int) -> int:
+        return max(2, int(round(leaves * leaves_scale)))
+
+    def diurnal(phase_s: float = 0.0) -> TraceSpec:
+        return TraceSpec(kind="diurnal", low=0.20, high=0.90,
+                         period_s=period, noise_sigma=0.02,
+                         phase_s=phase_s / time_compression)
+
+    return ScenarioSpec(
+        name="mixed-fleet-1k",
+        description="1000 leaves, four heterogeneous clusters, 12-hour "
+                    "diurnal day on the sharded fleet backend",
+        duration_s=duration,
+        warmup_s=min(600.0, 0.5 * duration),
+        seed=seed,
+        fleet=FleetSpec(
+            shard_leaves=shard_leaves,
+            clusters=(
+                ShardSpec(name="web-core", leaves=scaled(400),
+                          lc="websearch", trace=diurnal()),
+                ShardSpec(name="web-himem", leaves=scaled(250),
+                          lc="websearch",
+                          be_mix=("stream-DRAM", "brain"),
+                          server=ServerSpec(dram_bw_gbps=80.0),
+                          trace=diurnal(phase_s=1800.0)),
+                ShardSpec(name="kv-edge", leaves=scaled(250),
+                          lc="memkeyval", be_mix=("iperf", "stream-LLC"),
+                          server=ServerSpec(link_gbps=40.0),
+                          trace=diurnal(phase_s=3600.0)),
+                ShardSpec(name="ml-batch", leaves=scaled(100),
+                          lc="ml_cluster", be_mix=("brain", "cpu_pwr"),
+                          trace=diurnal(phase_s=5400.0)),
+            )))
+
+
+def follow_the_sun_scenario(time_compression: float = 1.0,
+                            leaves_per_region: int = 60,
+                            shard_leaves: int = 32,
+                            seed: int = 11) -> ScenarioSpec:
+    """Three regional clusters whose diurnal peaks chase each other.
+
+    One websearch estate replicated across three regions on a 24-hour
+    diurnal day, phase-shifted by eight hours each — as one region's
+    traffic peaks, the next is climbing and the third is in its trough,
+    so the *fleet* EMU stays flat while every per-cluster EMU swings.
+
+    Args:
+        time_compression: shrink factor for quick looks.
+        leaves_per_region: leaf population of each regional cluster.
+        shard_leaves: maximum leaves per execution shard.
+        seed: base seed (region ``i`` defaults to ``seed + i``).
+    """
+    period = _compressed(24 * 3600.0, time_compression)
+    duration = _compressed(12 * 3600.0, time_compression)
+    regions = ("us-east", "eu-west", "ap-south")
+    return ScenarioSpec(
+        name="follow-the-sun",
+        description="Three regions, 24-hour diurnal day phase-shifted "
+                    "8 h apart, on the sharded fleet backend",
+        duration_s=duration,
+        warmup_s=min(600.0, 0.5 * duration),
+        seed=seed,
+        fleet=FleetSpec(
+            shard_leaves=shard_leaves,
+            clusters=tuple(
+                ShardSpec(name=region, leaves=leaves_per_region,
+                          lc="websearch",
+                          trace=TraceSpec(kind="diurnal", low=0.20,
+                                          high=0.90, period_s=period,
+                                          noise_sigma=0.02,
+                                          phase_s=i * period / 3.0))
+                for i, region in enumerate(regions))))
+
+
 register("fig4", fig4_scenario,
          "Figure 4 grid: 3 LC x 6 BE x 10 loads under Heracles")
 register("fig8", fig8_scenario,
@@ -161,3 +271,7 @@ register("mixed-fleet", mixed_fleet_scenario,
          "Three heterogeneous LC x BE servers on the batched backend")
 register("diurnal-spike", diurnal_spike_scenario,
          "Diurnal websearch + stream-DRAM with a 95% load spike")
+register("mixed-fleet-1k", mixed_fleet_1k_scenario,
+         "1000-leaf, 4-cluster heterogeneous fleet, 12 h diurnal day")
+register("follow-the-sun", follow_the_sun_scenario,
+         "Three regions on an 8 h phase-shifted 24 h diurnal day")

@@ -25,8 +25,8 @@ from ..hardware.spec import MachineSpec, default_machine_spec
 from ..workloads.best_effort import BE_PROFILES
 from ..workloads.latency_critical import LC_PROFILES
 from ..workloads.traces import (ConstantLoad, DiurnalTrace, LoadSpike,
-                                LoadTrace, ReplayTrace, SpikeOverlay,
-                                StepLoad)
+                                LoadTrace, PhasedTrace, ReplayTrace,
+                                SpikeOverlay, StepLoad)
 
 #: Controllers a scenario (or a member) may select.
 CONTROLLERS = ("heracles", "none", "static-conservative",
@@ -218,8 +218,11 @@ class TraceSpec:
     ``load``), ``diurnal`` (``low``, ``high``, ``period_s``,
     ``noise_sigma``, ``seed``), ``step`` (``times_s``, ``loads``) and
     ``replay`` (``samples``, ``interval_s``).  Any kind accepts a
-    ``spikes`` list; spikes overlay the base trace via
-    :class:`~repro.workloads.traces.SpikeOverlay`.
+    ``spikes`` list (spikes overlay the base trace via
+    :class:`~repro.workloads.traces.SpikeOverlay`) and a ``phase_s``
+    offset, which evaluates the base trace ``phase_s`` seconds ahead
+    — the follow-the-sun primitive for fleet scenarios.  Spikes fire
+    at simulation time, unaffected by the phase shift.
     """
 
     kind: str = "constant"
@@ -234,6 +237,7 @@ class TraceSpec:
     samples: Tuple[float, ...] = ()
     interval_s: float = 1.0
     spikes: Tuple[SpikeSpec, ...] = ()
+    phase_s: float = 0.0
 
     @classmethod
     def from_dict(cls, data: Any, ctx: str = "trace") -> "TraceSpec":
@@ -244,9 +248,11 @@ class TraceSpec:
             raise ScenarioError(
                 f"{ctx}.kind: unknown trace kind {kind!r}; choose from "
                 f"{', '.join(sorted(_TRACE_KIND_FIELDS))}")
-        allowed = ("kind", "spikes") + _TRACE_KIND_FIELDS[kind]
+        allowed = ("kind", "spikes", "phase_s") + _TRACE_KIND_FIELDS[kind]
         _reject_unknown(data, allowed, ctx)
         kwargs: Dict[str, Any] = {"kind": kind}
+        if "phase_s" in data:
+            kwargs["phase_s"] = _number(data["phase_s"], f"{ctx}.phase_s")
         for name in _TRACE_KIND_FIELDS[kind]:
             if name not in data:
                 continue
@@ -311,6 +317,8 @@ class TraceSpec:
                                interval_s=self.interval_s)
         else:  # pragma: no cover - from_dict rejects unknown kinds
             raise ScenarioError(f"unknown trace kind {self.kind!r}")
+        if self.phase_s:
+            base = PhasedTrace(base, self.phase_s)
         if self.spikes:
             return SpikeOverlay(base,
                                 [s.to_load_spike() for s in self.spikes])
@@ -511,6 +519,211 @@ class ClusterSpec:
 
 
 @dataclass(frozen=True)
+class ShardSpec:
+    """One homogeneous cluster of a fleet scenario.
+
+    A fleet is a set of these: each declares one homogeneous leaf
+    population — its own hardware, LC service, BE mix, and
+    (phase-shifted) trace — which the fleet simulator partitions into
+    execution shards of at most ``fleet.shard_leaves`` leaves.
+
+    Args:
+        name: unique cluster name within the fleet.
+        leaves: leaf population (at least 2; zero or negative counts
+            are rejected at load time).
+        lc: LC workload every leaf runs.
+        be_mix: BE task names, cycled across leaves by global index
+            (the default matches §5.3's brain/streetview alternation).
+        server: hardware overrides for this cluster's machines.
+        trace: the cluster's shared offered-load trace.
+        managed: run Heracles on every leaf (``false`` = baseline).
+        seed: cluster base seed; ``None`` derives
+            ``scenario.seed + cluster index``.
+    """
+
+    name: str
+    leaves: int
+    lc: str = "websearch"
+    be_mix: Tuple[str, ...] = ("brain", "streetview")
+    server: ServerSpec = field(default_factory=ServerSpec)
+    trace: TraceSpec = field(default_factory=lambda: TraceSpec(
+        kind="diurnal", low=0.20, high=0.90, period_s=12 * 3600.0,
+        noise_sigma=0.02))
+    managed: bool = True
+    seed: Optional[int] = None
+
+    _FIELDS = ("name", "leaves", "lc", "be_mix", "server", "trace",
+               "managed", "seed")
+
+    @classmethod
+    def from_dict(cls, data: Any, ctx: str = "cluster") -> "ShardSpec":
+        """Build from a mapping, rejecting unknown fields."""
+        data = _require_mapping(data, ctx)
+        _reject_unknown(data, cls._FIELDS, ctx)
+        for required in ("name", "leaves"):
+            if required not in data:
+                raise ScenarioError(f"{ctx}: missing required field "
+                                    f"{required!r}")
+        if not isinstance(data["name"], str) or not data["name"]:
+            raise ScenarioError(f"{ctx}.name: expected a non-empty string")
+        leaves = data["leaves"]
+        if isinstance(leaves, bool) or not isinstance(leaves, int):
+            raise ScenarioError(f"{ctx}.leaves: expected an integer, got "
+                                f"{leaves!r}")
+        kwargs: Dict[str, Any] = {"name": data["name"], "leaves": leaves}
+        if "lc" in data:
+            kwargs["lc"] = data["lc"]
+        if "be_mix" in data:
+            mix = data["be_mix"]
+            if (not isinstance(mix, (list, tuple))
+                    or not all(isinstance(b, str) for b in mix)):
+                raise ScenarioError(f"{ctx}.be_mix: expected a list of BE "
+                                    f"task names, got {mix!r}")
+            kwargs["be_mix"] = tuple(mix)
+        if "server" in data:
+            kwargs["server"] = ServerSpec.from_dict(data["server"],
+                                                    f"{ctx}.server")
+        if "trace" in data:
+            kwargs["trace"] = TraceSpec.from_dict(data["trace"],
+                                                  f"{ctx}.trace")
+        if "managed" in data:
+            if not isinstance(data["managed"], bool):
+                raise ScenarioError(f"{ctx}.managed: expected a bool, got "
+                                    f"{data['managed']!r}")
+            kwargs["managed"] = data["managed"]
+        if data.get("seed") is not None:
+            seed = data["seed"]
+            if isinstance(seed, bool) or not isinstance(seed, int):
+                raise ScenarioError(f"{ctx}.seed: expected an integer, got "
+                                    f"{seed!r}")
+            kwargs["seed"] = seed
+        spec = cls(**kwargs)
+        spec.validate(ctx)
+        return spec
+
+    def validate(self, ctx: str = "cluster") -> None:
+        """Check leaf count, workload names, hardware, and the trace."""
+        if self.leaves < 2:
+            raise ScenarioError(
+                f"{ctx}.leaves: got {self.leaves} — a fleet cluster needs "
+                f"at least two leaves (zero or negative counts are "
+                f"invalid)")
+        if self.lc not in LC_PROFILES:
+            raise ScenarioError(
+                f"{ctx}.lc: unknown LC workload {self.lc!r}; choose from "
+                f"{', '.join(sorted(LC_PROFILES))}")
+        if not self.be_mix:
+            raise ScenarioError(f"{ctx}.be_mix: must name at least one BE "
+                                f"task")
+        for be in self.be_mix:
+            if be not in BE_PROFILES:
+                raise ScenarioError(
+                    f"{ctx}.be_mix: unknown BE workload {be!r}; choose "
+                    f"from {', '.join(sorted(BE_PROFILES))}")
+        self.server.to_machine_spec()
+        self.trace.validate(f"{ctx}.trace")
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A sharded multi-cluster fleet (the scenario's fourth shape).
+
+    Args:
+        clusters: the fleet's clusters, one :class:`ShardSpec` each
+            (unique names).
+        shard_leaves: maximum leaves per execution shard; every
+            cluster is partitioned into ``ceil(leaves / shard_leaves)``
+            near-equal shards fanned across the process pool.  Must be
+            positive — zero or negative shard sizes are rejected at
+            load time.
+        record_period_s: cluster record cadence in simulated seconds.
+    """
+
+    clusters: Tuple[ShardSpec, ...]
+    shard_leaves: int = 64
+    record_period_s: float = 30.0
+
+    _FIELDS = ("clusters", "shard_leaves", "record_period_s")
+
+    @classmethod
+    def from_dict(cls, data: Any, ctx: str = "fleet") -> "FleetSpec":
+        """Build from a mapping, rejecting unknown fields."""
+        data = _require_mapping(data, ctx)
+        _reject_unknown(data, cls._FIELDS, ctx)
+        if "clusters" not in data:
+            raise ScenarioError(f"{ctx}: missing required field 'clusters'")
+        clusters = data["clusters"]
+        if not isinstance(clusters, (list, tuple)):
+            raise ScenarioError(f"{ctx}.clusters: expected a list of "
+                                f"cluster mappings, got {clusters!r}")
+        kwargs: Dict[str, Any] = {"clusters": tuple(
+            ShardSpec.from_dict(c, f"{ctx}.clusters[{i}]")
+            for i, c in enumerate(clusters))}
+        if "shard_leaves" in data:
+            shard_leaves = data["shard_leaves"]
+            if isinstance(shard_leaves, bool) or not isinstance(
+                    shard_leaves, int):
+                raise ScenarioError(f"{ctx}.shard_leaves: expected an "
+                                    f"integer, got {shard_leaves!r}")
+            kwargs["shard_leaves"] = shard_leaves
+        if "record_period_s" in data:
+            kwargs["record_period_s"] = _number(data["record_period_s"],
+                                                f"{ctx}.record_period_s")
+        spec = cls(**kwargs)
+        spec.validate(ctx)
+        return spec
+
+    def validate(self, ctx: str = "fleet") -> None:
+        """Check the cluster list, shard size, and record cadence."""
+        if not self.clusters:
+            raise ScenarioError(f"{ctx}.clusters: a fleet needs at least "
+                                f"one cluster")
+        names = [c.name for c in self.clusters]
+        if len(set(names)) != len(names):
+            raise ScenarioError(f"{ctx}.clusters: cluster names must be "
+                                f"unique, got {names}")
+        if self.shard_leaves < 1:
+            raise ScenarioError(
+                f"{ctx}.shard_leaves: got {self.shard_leaves} — shard size "
+                f"must be a positive leaf count (zero or negative values "
+                f"are invalid)")
+        if self.record_period_s <= 0:
+            raise ScenarioError(f"{ctx}.record_period_s: must be positive")
+        for i, cluster in enumerate(self.clusters):
+            cluster.validate(f"{ctx}.clusters[{i}]")
+
+    def total_leaves(self) -> int:
+        """The fleet's whole leaf population."""
+        return sum(c.leaves for c in self.clusters)
+
+    def cluster_seed(self, index: int, base_seed: int) -> int:
+        """Effective base seed of cluster ``index``."""
+        cluster = self.clusters[index]
+        return cluster.seed if cluster.seed is not None \
+            else base_seed + index
+
+    def validate_seeds(self, base_seed: int, ctx: str = "fleet") -> None:
+        """Reject cross-cluster tail-noise seed collisions at load time.
+
+        Delegates to :func:`repro.fleet.shard.overlapping_seed_ranges`
+        — the single definition of the collision — with each cluster's
+        *effective* seed.  Needs the scenario's base seed (default
+        cluster seeds derive from it), hence a separate hook called
+        from :meth:`ScenarioSpec.validate`.
+        """
+        from ..fleet.shard import overlapping_seed_ranges
+        collision = overlapping_seed_ranges(
+            (self.cluster_seed(i, base_seed), cluster.leaves, cluster.name)
+            for i, cluster in enumerate(self.clusters))
+        if collision is not None:
+            raise ScenarioError(
+                f"{ctx}.clusters: {collision[0]!r} and {collision[1]!r} "
+                f"have overlapping tail-noise seed ranges (leaf seeds are "
+                f"seed * 1000 + leaf_index; give clusters of 1000+ leaves "
+                f"more widely spaced seeds)")
+
+
+@dataclass(frozen=True)
 class InjectionSpec:
     """A timed actuation applied mid-run to every member.
 
@@ -567,9 +780,10 @@ class ScenarioSpec:
     """A complete, self-contained experiment description.
 
     Exactly one of ``members`` (explicit servers), ``sweep`` (a grid of
-    constant-load runs) or ``cluster`` (the §5.3 minicluster) selects
-    the scenario shape; the compiler lowers each shape onto a different
-    part of the engine stack (see :mod:`repro.scenarios.compiler`).
+    constant-load runs), ``cluster`` (the §5.3 minicluster) or
+    ``fleet`` (a sharded multi-cluster fleet) selects the scenario
+    shape; the compiler lowers each shape onto a different part of the
+    engine stack (see :mod:`repro.scenarios.compiler`).
 
     Args:
         name: registry/display name.
@@ -583,7 +797,8 @@ class ScenarioSpec:
         seed: base RNG seed (members without an explicit seed get
             ``seed + index``).
         engine: ``auto`` | ``scalar`` | ``batch`` for member scenarios.
-        members / sweep / cluster: the scenario shape (exactly one).
+        members / sweep / cluster / fleet: the scenario shape (exactly
+            one).
         injections: timed actuations applied to every member.
     """
 
@@ -599,11 +814,12 @@ class ScenarioSpec:
     members: Tuple[WorkloadSpec, ...] = ()
     sweep: Optional[SweepSpec] = None
     cluster: Optional[ClusterSpec] = None
+    fleet: Optional[FleetSpec] = None
     injections: Tuple[InjectionSpec, ...] = ()
 
     _FIELDS = ("name", "description", "server", "controller", "duration_s",
                "dt_s", "warmup_s", "seed", "engine", "members", "sweep",
-               "cluster", "injections")
+               "cluster", "fleet", "injections")
 
     @classmethod
     def from_dict(cls, data: Any, ctx: str = "scenario") -> "ScenarioSpec":
@@ -650,6 +866,9 @@ class ScenarioSpec:
         if "cluster" in data and data["cluster"] is not None:
             kwargs["cluster"] = ClusterSpec.from_dict(data["cluster"],
                                                       f"{ctx}.cluster")
+        if "fleet" in data and data["fleet"] is not None:
+            kwargs["fleet"] = FleetSpec.from_dict(data["fleet"],
+                                                  f"{ctx}.fleet")
         if "injections" in data:
             injections = data["injections"]
             if not isinstance(injections, (list, tuple)):
@@ -663,12 +882,12 @@ class ScenarioSpec:
 
     def validate(self, ctx: str = "scenario") -> None:
         """Validate the whole spec tree (shape, ranges, nested specs)."""
-        shapes = [s for s in ("members", "sweep", "cluster")
+        shapes = [s for s in ("members", "sweep", "cluster", "fleet")
                   if (getattr(self, s) or None) is not None]
         if len(shapes) != 1:
             raise ScenarioError(
-                f"{ctx}: exactly one of 'members', 'sweep' or 'cluster' "
-                f"must be given (got {shapes or 'none'})")
+                f"{ctx}: exactly one of 'members', 'sweep', 'cluster' or "
+                f"'fleet' must be given (got {shapes or 'none'})")
         if self.controller not in CONTROLLERS:
             raise ScenarioError(
                 f"{ctx}.controller: unknown controller "
@@ -693,14 +912,25 @@ class ScenarioSpec:
         if self.sweep is not None and self.dt_s != 1.0:
             raise ScenarioError(f"{ctx}.dt_s: sweep cells always run at "
                                 f"the engine's 1 s tick; drop dt_s")
-        if (self.sweep is not None or self.cluster is not None) \
-                and self.engine != "auto":
+        if (self.sweep is not None or self.cluster is not None
+                or self.fleet is not None) and self.engine != "auto":
             raise ScenarioError(
                 f"{ctx}.engine: only member scenarios take a top-level "
-                f"engine (cluster scenarios set cluster.engine)")
+                f"engine (cluster scenarios set cluster.engine; fleets "
+                f"always run sharded batches)")
         if self.injections and not self.members:
             raise ScenarioError(f"{ctx}.injections: injections require a "
                                 f"'members' scenario")
+        if self.fleet is not None and not self.server.is_default():
+            raise ScenarioError(
+                f"{ctx}.server: fleet scenarios declare hardware per "
+                f"cluster (fleet.clusters[*].server), not at the top "
+                f"level")
+        if self.fleet is not None and self.controller != "heracles":
+            raise ScenarioError(
+                f"{ctx}.controller: fleet scenarios run Heracles on "
+                f"managed clusters and nothing on baseline ones; set "
+                f"'managed: false' per cluster instead of a controller")
         self.server.to_machine_spec()
         for i, member in enumerate(self.members):
             member.validate(f"{ctx}.members[{i}]")
@@ -708,6 +938,9 @@ class ScenarioSpec:
             self.sweep.validate(f"{ctx}.sweep")
         if self.cluster is not None:
             self.cluster.validate(f"{ctx}.cluster")
+        if self.fleet is not None:
+            self.fleet.validate(f"{ctx}.fleet")
+            self.fleet.validate_seeds(self.seed, f"{ctx}.fleet")
         for i, injection in enumerate(self.injections):
             injection.validate(f"{ctx}.injections[{i}]")
 

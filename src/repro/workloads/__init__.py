@@ -12,8 +12,8 @@ from .latency_critical import (LC_PROFILES, MEMKEYVAL, ML_CLUSTER, WEBSEARCH,
                                LatencyCriticalWorkload, LcWorkloadProfile,
                                make_lc_workload)
 from .traces import (ConstantLoad, DiurnalTrace, LoadSpike, LoadTrace,
-                     ReplayTrace, SpikeOverlay, StepLoad, load_sweep,
-                     websearch_cluster_trace)
+                     PhasedTrace, ReplayTrace, SpikeOverlay, StepLoad,
+                     load_sweep, websearch_cluster_trace)
 
 __all__ = [
     "AntagonistSpec", "Placement", "antagonist_by_label",
@@ -25,6 +25,7 @@ __all__ = [
     "make_be_workload", "reference_throughput_units",
     "LC_PROFILES", "MEMKEYVAL", "ML_CLUSTER", "WEBSEARCH",
     "LatencyCriticalWorkload", "LcWorkloadProfile", "make_lc_workload",
-    "ConstantLoad", "DiurnalTrace", "LoadSpike", "LoadTrace", "ReplayTrace",
-    "SpikeOverlay", "StepLoad", "load_sweep", "websearch_cluster_trace",
+    "ConstantLoad", "DiurnalTrace", "LoadSpike", "LoadTrace", "PhasedTrace",
+    "ReplayTrace", "SpikeOverlay", "StepLoad", "load_sweep",
+    "websearch_cluster_trace",
 ]

@@ -184,6 +184,27 @@ class LoadSpike:
 
 
 @dataclass
+class PhasedTrace(LoadTrace):
+    """A base trace evaluated with a fixed time offset.
+
+    ``load(t) = base.load(t + phase_s)`` — the trace's own clock runs
+    ``phase_s`` seconds ahead of the simulation clock.  This is the
+    fleet layer's follow-the-sun primitive: clusters in different
+    regions share one diurnal shape but peak at different simulated
+    times (a cluster with ``phase_s = period / 3`` is eight hours ahead
+    of an unshifted one on a 24-hour trace).  Negative offsets delay
+    the trace instead.
+    """
+
+    base: LoadTrace
+    phase_s: float
+
+    def load_at(self, t_s: float) -> float:
+        """Base load at the phase-shifted time ``t_s + phase_s``."""
+        return self.base.load_at(t_s + self.phase_s)
+
+
+@dataclass
 class SpikeOverlay(LoadTrace):
     """A base trace with load spikes injected at fixed timestamps.
 

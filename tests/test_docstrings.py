@@ -28,6 +28,7 @@ ALL_EXPORT_MODULES = (
     "repro.baselines",
     "repro.experiments",
     "repro.scenarios",
+    "repro.fleet",
 )
 
 #: Modules checked member-by-member (every public class/function defined
@@ -45,6 +46,9 @@ DEEP_MODULES = (
     "repro.scenarios.loader",
     "repro.scenarios.registry",
     "repro.scenarios.compiler",
+    "repro.fleet.shard",
+    "repro.fleet.aggregate",
+    "repro.fleet.simulator",
 )
 
 

@@ -22,13 +22,16 @@ import pytest
 from repro.baselines.static import optimistic_static
 from repro.cluster.cluster import WebsearchCluster
 from repro.cluster.coordinator import CoordinatedWebsearchCluster
+from repro.fleet import ClusterPlan, ShardedFleetSim
 from repro.hardware.spec import default_machine_spec
 from repro.sim.batch import BatchColocationSim
 from repro.sim.engine import ColocationSim
+from repro.sim.runner import JOBS_ENV
 from repro.workloads.best_effort import make_be_workload
 from repro.workloads.latency_critical import (LC_PROFILES,
                                               LatencyCriticalWorkload)
-from repro.workloads.traces import ConstantLoad, DiurnalTrace
+from repro.workloads.traces import (ConstantLoad, DiurnalTrace,
+                                    websearch_cluster_trace)
 
 DTS = (0.5, 1.0, 5.0)
 
@@ -150,6 +153,76 @@ class TestClusterDtInvariance:
         mins = [self._run(dt).history.min_emu() for dt in DTS]
         for value in mins[1:]:
             assert value == pytest.approx(mins[0], rel=1e-9)
+
+
+class TestFleetDtInvariance:
+    """The sharded fleet path reports dt-invariant metrics too."""
+
+    def _run(self, dt_s, duration=240.0, shard_leaves=1):
+        fleet = ShardedFleetSim(
+            [ClusterPlan(name="c", leaves=2, trace=ConstantLoad(0.6),
+                         managed=False, seed=0)],
+            shard_leaves=shard_leaves)
+        return fleet.run(duration, dt_s=dt_s, processes=1)
+
+    def test_record_cadence_invariant(self):
+        runs = [self._run(dt) for dt in DTS]
+        counts = [len(r.telemetry) for r in runs]
+        assert counts == [counts[0]] * len(DTS)
+        base = runs[0].telemetry.times()
+        for run in runs[1:]:
+            np.testing.assert_allclose(run.telemetry.times(), base)
+
+    def test_fleet_emu_invariant(self):
+        means = [self._run(dt).telemetry.mean_fleet_emu() for dt in DTS]
+        for value in means[1:]:
+            assert value == pytest.approx(means[0], rel=1e-9)
+        minima = [self._run(dt).telemetry.min_fleet_emu() for dt in DTS]
+        for value in minima[1:]:
+            assert value == pytest.approx(minima[0], rel=1e-9)
+
+    def test_matches_cluster_driver_at_every_dt(self):
+        """Fleet dt plumbing is the cluster driver's, bit for bit."""
+        for dt in DTS:
+            cluster = WebsearchCluster(leaves=2, trace=ConstantLoad(0.6),
+                                       seed=0, managed=False)
+            cluster.run(240.0, dt_s=dt)
+            fleet = self._run(dt)
+            history = fleet.cluster("c").history
+            for name in ("t_s", "load", "root_latency_ms",
+                         "root_slo_fraction", "emu"):
+                assert np.array_equal(history.column(name),
+                                      cluster.history.column(name)), (
+                    f"dt_s={dt}: column {name!r} diverged")
+
+
+class TestFleetSeedDeterminism:
+    """Same spec + seed => identical fleet summary, run over run."""
+
+    def _summary(self, seed=7, shard_leaves=3):
+        fleet = ShardedFleetSim(
+            [ClusterPlan(name="a", leaves=4,
+                         trace=websearch_cluster_trace(seed=seed),
+                         seed=seed),
+             ClusterPlan(name="b", leaves=3,
+                         trace=websearch_cluster_trace(seed=seed + 1),
+                         managed=False, seed=seed + 1)],
+            shard_leaves=shard_leaves)
+        return fleet.run(120.0, processes=None).summary(skip_s=30.0)
+
+    def test_repeated_runs_identical(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "1")
+        assert self._summary() == self._summary()
+
+    def test_identical_across_job_counts(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "1")
+        serial = self._summary()
+        monkeypatch.setenv(JOBS_ENV, "4")
+        assert self._summary() == serial
+
+    def test_seed_actually_matters(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "1")
+        assert self._summary(seed=7) != self._summary(seed=8)
 
 
 class TestCoordinatorDt:

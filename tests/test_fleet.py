@@ -1,0 +1,481 @@
+"""Fleet layer: sharded execution differential-tested against the
+single-process batch cluster and the scalar reference engine.
+
+The heart of this module is the differential harness the PR-4 issue
+asks for: the same 8-leaf cluster run (a) as a scalar per-leaf loop,
+(b) as one monolithic ``BatchColocationSim``, and (c) as a sharded
+fleet across shard counts {1, 3, 8} and ``REPRO_JOBS`` ∈ {1, 4} — all
+producing *bit-identical* cluster histories.  Equality is asserted
+with ``np.array_equal`` (no tolerance): the fleet layer's contract is
+that partitioning and parallelism change wall-clock, never numbers.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import WebsearchCluster, cluster_slo_targets
+from repro.fleet import (ClusterPlan, ShardedFleetSim, partition_leaves,
+                         run_shard)
+from repro.fleet.shard import ShardTask
+from repro.hardware.spec import default_machine_spec
+from repro.scenarios import (ScenarioError, compile_scenario, load_scenario,
+                             registry)
+from repro.sim.runner import JOBS_ENV
+from repro.workloads.traces import (ConstantLoad, PhasedTrace,
+                                    websearch_cluster_trace)
+
+LEAVES = 8
+DURATION = 240.0
+SEED = 3
+CLUSTER_FIELDS = ("t_s", "load", "root_latency_ms", "root_slo_fraction",
+                  "emu")
+
+
+def reference_trace():
+    """The shared cluster trace every differential run uses."""
+    return websearch_cluster_trace(seed=SEED)
+
+
+def assert_cluster_histories_identical(got, want, what):
+    """Bitwise equality of two ClusterHistory column sets."""
+    assert len(got) == len(want), f"{what}: record counts differ"
+    for name in CLUSTER_FIELDS:
+        a, b = got.column(name), want.column(name)
+        assert np.array_equal(a, b), (
+            f"{what}: column {name!r} diverged (max abs diff "
+            f"{np.abs(a - b).max():.3e})")
+
+
+class TestPartitionLeaves:
+    def test_single_shard(self):
+        assert partition_leaves(8, 8) == [(0, 8)]
+        assert partition_leaves(8, 100) == [(0, 8)]
+
+    def test_near_equal_split(self):
+        assert partition_leaves(8, 3) == [(0, 3), (3, 6), (6, 8)]
+        assert partition_leaves(10, 4) == [(0, 4), (4, 7), (7, 10)]
+
+    def test_unit_shards(self):
+        ranges = partition_leaves(5, 1)
+        assert ranges == [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]
+
+    def test_tiles_exactly(self):
+        for total in (2, 7, 64, 1000):
+            for size in (1, 3, 64, 128):
+                ranges = partition_leaves(total, size)
+                assert ranges[0][0] == 0 and ranges[-1][1] == total
+                assert all(hi == nlo for (_, hi), (nlo, _)
+                           in zip(ranges, ranges[1:]))
+                assert all(0 < hi - lo <= size for lo, hi in ranges)
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            partition_leaves(0, 4)
+        with pytest.raises(ValueError, match="must be positive"):
+            partition_leaves(-3, 4)
+        with pytest.raises(ValueError, match="zero or negative"):
+            partition_leaves(8, 0)
+        with pytest.raises(ValueError, match="zero or negative"):
+            partition_leaves(8, -1)
+
+
+@pytest.fixture(scope="module")
+def batch_cluster():
+    """The monolithic single-process batch run (the reference)."""
+    cluster = WebsearchCluster(leaves=LEAVES, trace=reference_trace(),
+                               seed=SEED, engine="batch")
+    cluster.run(DURATION)
+    return cluster
+
+
+@pytest.fixture(scope="module")
+def scalar_cluster():
+    """The per-leaf scalar reference run."""
+    cluster = WebsearchCluster(leaves=LEAVES, trace=reference_trace(),
+                               seed=SEED, engine="scalar")
+    cluster.run(DURATION)
+    return cluster
+
+
+def run_fleet_once(shard_leaves, processes=1):
+    """One sharded-fleet run of the differential cluster."""
+    fleet = ShardedFleetSim(
+        [ClusterPlan(name="diff", leaves=LEAVES, trace=reference_trace(),
+                     seed=SEED)],
+        shard_leaves=shard_leaves)
+    return fleet.run(DURATION, processes=processes)
+
+
+class TestFleetDifferential:
+    """Sharded fleet vs batch cluster vs scalar cluster: bit-identical."""
+
+    def test_scalar_matches_batch_bitwise(self, batch_cluster,
+                                          scalar_cluster):
+        assert_cluster_histories_identical(
+            scalar_cluster.history, batch_cluster.history,
+            "scalar vs batch")
+        assert scalar_cluster.root_slo_ms == batch_cluster.root_slo_ms
+
+    @pytest.mark.parametrize("jobs", ["1", "4"])
+    @pytest.mark.parametrize("shard_leaves,expected_shards",
+                             [(8, 1), (3, 3), (1, 8)])
+    def test_fleet_matches_batch_bitwise(self, batch_cluster, monkeypatch,
+                                         shard_leaves, expected_shards,
+                                         jobs):
+        monkeypatch.setenv(JOBS_ENV, jobs)
+        result = run_fleet_once(shard_leaves, processes=None)
+        outcome = result.cluster("diff")
+        assert len(outcome.shards) == expected_shards
+        assert outcome.root_slo_ms == batch_cluster.root_slo_ms
+        assert outcome.leaf_slo_ms == batch_cluster.leaf_slo_ms
+        assert_cluster_histories_identical(
+            outcome.history, batch_cluster.history,
+            f"fleet[{expected_shards} shard(s), jobs={jobs}] vs batch")
+
+    def test_assemble_rejects_incomplete_tiling(self):
+        """A missing trailing shard must fail loudly, never roll up."""
+        from repro.fleet import assemble_cluster
+        result = run_fleet_once(shard_leaves=3)
+        shards = sorted(result.cluster("diff").shards,
+                        key=lambda s: s.leaf_lo)
+        with pytest.raises(ValueError, match="ends at leaf"):
+            assemble_cluster(shards[:-1], total_leaves=LEAVES)
+        with pytest.raises(ValueError, match="starts at leaf"):
+            assemble_cluster(shards[1:], total_leaves=LEAVES)
+        with pytest.raises(ValueError, match="do not tile"):
+            assemble_cluster([shards[0], shards[2]], total_leaves=LEAVES)
+
+    def test_summary_is_shard_count_invariant(self):
+        summaries = [run_fleet_once(shard_leaves).summary(skip_s=60.0)
+                     for shard_leaves in (8, 3)]
+        assert summaries[0] == summaries[1]
+
+    def test_slo_targets_use_cluster_population_not_shard_size(self):
+        """A shard of 3 leaves must keep the 8-leaf root SLO."""
+        spec = default_machine_spec()
+        _, root_slo_full = cluster_slo_targets(spec, LEAVES)
+        _, root_slo_small = cluster_slo_targets(spec, 3)
+        assert root_slo_full > root_slo_small
+        result = run_fleet_once(shard_leaves=3)
+        assert result.cluster("diff").root_slo_ms == root_slo_full
+
+
+class TestRunShard:
+    def _task(self, **over):
+        spec = default_machine_spec()
+        leaf_slo_ms, _ = cluster_slo_targets(spec, 4)
+        base = dict(cluster="c", cluster_index=0, shard_index=0,
+                    leaf_lo=0, leaf_hi=2, total_leaves=4,
+                    lc_name="websearch", be_mix=("brain", "streetview"),
+                    leaf_slo_ms=leaf_slo_ms, spec=spec,
+                    trace=ConstantLoad(0.5), managed=False, seed=1,
+                    duration_s=30.0, dt_s=1.0)
+        base.update(over)
+        return ShardTask(**base)
+
+    def test_shapes_and_summary(self):
+        result = run_shard(self._task())
+        assert result.tails_ms.shape == (30, 2)
+        assert result.emus.shape == (30, 2)
+        assert result.times_s.shape == (30,)
+        assert result.summary["worst_tail_ms"] == result.tails_ms.max()
+        assert (result.tails_ms > 0).all()
+
+    def test_rejects_degenerate_tasks(self):
+        with pytest.raises(ValueError, match="duration"):
+            run_shard(self._task(duration_s=0.0))
+        with pytest.raises(ValueError, match="dt"):
+            run_shard(self._task(dt_s=-1.0))
+        with pytest.raises(ValueError, match="empty"):
+            run_shard(self._task(leaf_hi=0))
+        with pytest.raises(ValueError, match="outside the cluster"):
+            run_shard(self._task(leaf_hi=9))
+
+
+class TestHeterogeneousFleet:
+    @pytest.fixture(scope="class")
+    def result(self):
+        fleet = ShardedFleetSim(
+            [
+                ClusterPlan(name="web", leaves=4,
+                            trace=reference_trace(), seed=1),
+                ClusterPlan(name="kv", leaves=3, lc_name="memkeyval",
+                            be_mix=("iperf",),
+                            trace=PhasedTrace(reference_trace(), 600.0),
+                            managed=False, seed=2),
+            ],
+            shard_leaves=2)
+        return fleet.run(120.0, processes=1)
+
+    def test_telemetry_shapes(self, result):
+        telemetry = result.telemetry
+        assert telemetry.column("emu").shape == (len(telemetry), 2)
+        assert telemetry.fleet_column("fleet_emu").shape \
+            == (len(telemetry),)
+        assert telemetry.cluster_names == ["web", "kv"]
+        with pytest.raises(KeyError):
+            telemetry.fleet_column("emu")
+
+    def test_fleet_emu_is_leaf_weighted(self, result):
+        telemetry = result.telemetry
+        emu = telemetry.column("emu")
+        expected = (emu[:, 0] * 4 + emu[:, 1] * 3) / 7.0
+        np.testing.assert_allclose(telemetry.fleet_column("fleet_emu"),
+                                   expected, rtol=1e-12)
+
+    def test_weighted_latency_bounded_by_slowest_cluster(self, result):
+        telemetry = result.telemetry
+        latency = telemetry.column("root_latency_ms")
+        weighted = telemetry.fleet_column("weighted_root_latency_ms")
+        assert (weighted <= latency.max(axis=1) + 1e-12).all()
+        assert (weighted >= latency.min(axis=1) - 1e-12).all()
+
+    def test_cluster_lookup_and_shards(self, result):
+        web = result.cluster("web")
+        assert web.leaves == 4 and len(web.shards) == 2
+        summaries = web.shard_summaries()
+        assert [s["leaf_lo"] for s in summaries] == [0, 2]
+        with pytest.raises(KeyError):
+            result.cluster("nope")
+
+    def test_summary_contents(self, result):
+        summary = result.summary(skip_s=30.0)
+        assert summary["leaves"] == 7
+        assert set(summary["clusters"]) == {"web", "kv"}
+        assert 0.0 < summary["fleet_emu"] <= 1.5
+        assert summary["weighted_root_latency_ms"] > 0
+
+
+class TestFleetValidation:
+    def _plan(self, **over):
+        base = dict(name="c", leaves=4, trace=ConstantLoad(0.5))
+        base.update(over)
+        return ClusterPlan(**base)
+
+    def test_rejects_bad_leaf_counts(self):
+        for leaves in (0, -5, 1):
+            with pytest.raises(ValueError, match="at least two leaves"):
+                ShardedFleetSim([self._plan(leaves=leaves)])
+
+    def test_rejects_bad_shard_size(self):
+        with pytest.raises(ValueError, match="zero or negative"):
+            ShardedFleetSim([self._plan()], shard_leaves=0)
+        with pytest.raises(ValueError, match="zero or negative"):
+            ShardedFleetSim([self._plan()], shard_leaves=-4)
+
+    def test_rejects_cross_cluster_seed_collisions(self):
+        """Adjacent seeds + 1000-leaf clusters would share noise streams."""
+        with pytest.raises(ValueError, match="seed ranges overlap"):
+            ShardedFleetSim([
+                self._plan(name="a", leaves=1500, seed=7),
+                self._plan(name="b", leaves=1500, seed=8),
+            ])
+        # Widely spaced seeds (or sub-1000 clusters) are fine.
+        ShardedFleetSim([self._plan(name="a", leaves=1500, seed=7),
+                         self._plan(name="b", leaves=1500, seed=9)])
+        ShardedFleetSim([self._plan(name="a", leaves=500, seed=7),
+                         self._plan(name="b", leaves=500, seed=8)])
+
+    def test_rejects_duplicate_names_and_empty_fleets(self):
+        with pytest.raises(ValueError, match="unique"):
+            ShardedFleetSim([self._plan(), self._plan()])
+        with pytest.raises(ValueError, match="at least one cluster"):
+            ShardedFleetSim([])
+
+    def test_rejects_unknown_workloads(self):
+        with pytest.raises(ValueError, match="unknown LC workload"):
+            ShardedFleetSim([self._plan(lc_name="nope")])
+        with pytest.raises(ValueError, match="unknown BE workload"):
+            ShardedFleetSim([self._plan(be_mix=("nope",))])
+        with pytest.raises(ValueError, match="at least one BE"):
+            ShardedFleetSim([self._plan(be_mix=())])
+
+    def test_rejects_bad_run_arguments(self):
+        fleet = ShardedFleetSim([self._plan()])
+        with pytest.raises(ValueError, match="duration"):
+            fleet.run(0.0)
+        with pytest.raises(ValueError, match="dt"):
+            fleet.run(10.0, dt_s=0.0)
+        with pytest.raises(ValueError, match="record_period_s"):
+            ShardedFleetSim([self._plan()], record_period_s=0.0)
+
+    def test_zero_step_run_is_empty_not_a_crash(self):
+        """duration/dt rounding to zero ticks mirrors the cluster driver
+        (an empty history), instead of crashing on empty reductions."""
+        fleet = ShardedFleetSim([self._plan(leaves=2)])
+        result = fleet.run(1.0, dt_s=5.0, processes=1)
+        assert len(result.cluster("c").history) == 0
+        assert len(result.telemetry) == 0
+        summary = result.cluster("c").shard_summaries()[0]
+        assert summary["worst_tail_ms"] == 0.0
+
+
+class TestFleetSpecSchema:
+    def _fleet_dict(self, **over):
+        data = {
+            "name": "spec-fleet",
+            "duration_s": 120, "warmup_s": 30,
+            "fleet": {
+                "shard_leaves": 2,
+                "clusters": [
+                    {"name": "a", "leaves": 4,
+                     "trace": {"kind": "constant", "load": 0.5}},
+                    {"name": "b", "leaves": 3, "lc": "memkeyval",
+                     "be_mix": ["iperf"], "managed": False,
+                     "trace": {"kind": "diurnal", "period_s": 600,
+                               "phase_s": 150}},
+                ],
+            },
+        }
+        data.update(over)
+        return data
+
+    def test_loads_and_compiles(self):
+        spec = load_scenario(self._fleet_dict())
+        assert spec.fleet.total_leaves() == 7
+        assert spec.fleet.clusters[1].trace.phase_s == 150
+        assert compile_scenario(spec).kind == "fleet"
+
+    def test_cluster_seed_derivation(self):
+        spec = load_scenario(self._fleet_dict(seed=10))
+        assert spec.fleet.cluster_seed(0, spec.seed) == 10
+        assert spec.fleet.cluster_seed(1, spec.seed) == 11
+        explicit = self._fleet_dict(seed=10)
+        explicit["fleet"]["clusters"][1]["seed"] = 99
+        spec = load_scenario(explicit)
+        assert spec.fleet.cluster_seed(1, spec.seed) == 99
+
+    def test_rejects_zero_or_negative_counts(self):
+        bad = self._fleet_dict()
+        bad["fleet"]["clusters"][0]["leaves"] = 0
+        with pytest.raises(ScenarioError, match="zero or negative"):
+            load_scenario(bad)
+        bad = self._fleet_dict()
+        bad["fleet"]["clusters"][0]["leaves"] = -4
+        with pytest.raises(ScenarioError, match="zero or negative"):
+            load_scenario(bad)
+        bad = self._fleet_dict()
+        bad["fleet"]["shard_leaves"] = 0
+        with pytest.raises(ScenarioError, match="zero or negative"):
+            load_scenario(bad)
+
+    def test_rejects_unknown_fields_and_names(self):
+        bad = self._fleet_dict()
+        bad["fleet"]["shards"] = 4
+        with pytest.raises(ScenarioError, match="unknown field"):
+            load_scenario(bad)
+        bad = self._fleet_dict()
+        bad["fleet"]["clusters"][0]["lc"] = "nope"
+        with pytest.raises(ScenarioError, match="unknown LC workload"):
+            load_scenario(bad)
+        bad = self._fleet_dict()
+        bad["fleet"]["clusters"][1]["name"] = "a"
+        with pytest.raises(ScenarioError, match="unique"):
+            load_scenario(bad)
+
+    def test_rejects_misplaced_top_level_fields(self):
+        with pytest.raises(ScenarioError, match="per\\s+cluster"):
+            load_scenario(self._fleet_dict(server={"cores": 8}))
+        with pytest.raises(ScenarioError, match="engine"):
+            load_scenario(self._fleet_dict(engine="batch"))
+        with pytest.raises(ScenarioError, match="controller"):
+            load_scenario(self._fleet_dict(controller="none"))
+        both = self._fleet_dict()
+        both["members"] = [{"lc": "websearch"}]
+        with pytest.raises(ScenarioError, match="exactly one"):
+            load_scenario(both)
+
+    def test_rejects_seed_collisions_at_load_time(self):
+        """Overlapping leaf-seed ranges fail as a load-time ScenarioError
+        (never a mid-run ValueError the CLI would not catch)."""
+        bad = self._fleet_dict()
+        bad["fleet"]["clusters"][0]["leaves"] = 1500
+        bad["fleet"]["clusters"][1]["leaves"] = 1500
+        with pytest.raises(ScenarioError, match="seed ranges"):
+            load_scenario(bad)
+        spaced = self._fleet_dict()
+        spaced["fleet"]["clusters"][0]["leaves"] = 1500
+        spaced["fleet"]["clusters"][1]["leaves"] = 1500
+        spaced["fleet"]["clusters"][1]["seed"] = 99
+        assert load_scenario(spaced).fleet.total_leaves() == 3000
+
+    def test_shard_records_are_summary_only(self):
+        """Results keep shard summaries, not the bulk (T, n) telemetry."""
+        result = run_fleet_once(shard_leaves=3)
+        for shard in result.cluster("diff").shards:
+            assert shard.tails_ms.size == 0 and shard.emus.size == 0
+            assert shard.summary["worst_tail_ms"] > 0
+
+    def test_registered_fleet_scenarios_validate(self):
+        mixed = registry.get("mixed-fleet-1k")
+        assert mixed.fleet.total_leaves() == 1000
+        assert len(mixed.fleet.clusters) == 4
+        sun = registry.get("follow-the-sun")
+        phases = [c.trace.phase_s for c in sun.fleet.clusters]
+        assert phases[0] == 0.0 and phases[1] < phases[2]
+
+    def test_fleet_spec_runs_through_compiler(self):
+        spec = load_scenario(self._fleet_dict())
+        result = compile_scenario(spec).run(processes=1)
+        assert result.kind == "fleet"
+        rendered = result.render()
+        assert "spec-fleet" in rendered and "a" in rendered
+        assert "fleet EMU" in rendered
+
+    def test_build_raises_for_fleet_shape(self):
+        spec = load_scenario(self._fleet_dict())
+        with pytest.raises(ScenarioError, match="runner grid"):
+            compile_scenario(spec).build()
+
+
+class TestFleetCli:
+    def test_fleet_list_shows_only_fleet_scenarios(self, capsys):
+        from repro.cli import main
+        assert main(["fleet", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "mixed-fleet-1k" in out and "follow-the-sun" in out
+        assert "fig4" not in out
+
+    def test_fleet_runs_spec_file(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+        monkeypatch.setenv(JOBS_ENV, "1")
+        spec = {
+            "name": "cli-fleet", "duration_s": 60, "warmup_s": 10,
+            "fleet": {"clusters": [
+                {"name": "only", "leaves": 2, "managed": False,
+                 "trace": {"kind": "constant", "load": 0.4}}]},
+        }
+        path = tmp_path / "fleet.json"
+        path.write_text(json.dumps(spec))
+        assert main(["fleet", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "cli-fleet" in out and "fleet EMU" in out
+
+    def test_fleet_rejects_non_fleet_scenarios(self):
+        from repro.cli import main
+        with pytest.raises(SystemExit, match="not fleet-shaped"):
+            main(["fleet", "fig4"])
+
+    def test_fleet_rejects_bad_shard_leaves(self):
+        from repro.cli import main
+        with pytest.raises(SystemExit, match="positive"):
+            main(["fleet", "mixed-fleet-1k", "--shard-leaves", "0"])
+
+    def test_fig8_exposes_leaves_and_engine(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(["fig8", "--leaves", "6",
+                                          "--engine", "scalar"])
+        assert args.leaves == 6 and args.engine == "scalar"
+
+    def test_fig8_rejects_bad_leaves(self):
+        from repro.cli import main
+        with pytest.raises(SystemExit, match="at least two leaves"):
+            main(["fig8", "--leaves", "0"])
+
+    def test_fig8_rejects_unknown_engine(self):
+        from repro.cli import build_parser
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig8", "--engine", "warp"])

@@ -1,0 +1,172 @@
+"""Property-based invariants (hypothesis) for the aggregation stack.
+
+Covers the three aggregation layers the fleet composes: the fan-out
+root (:class:`RootAggregator`), the centralized coordinator
+(:class:`ClusterCoordinator`), and the fleet roll-up
+(:mod:`repro.fleet.aggregate`).  The invariants are the ones the PR-4
+issue names: EMU aggregates stay inside [0, 1] when their inputs do,
+fleet latency is bounded by the slowest cluster, and every aggregate
+is permutation-invariant under leaf (and cluster) reordering.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.root import RootAggregator
+from repro.fleet.aggregate import (fleet_emu_row, rollup_cluster,
+                                   weighted_root_latency_row)
+from repro.workloads.traces import ConstantLoad
+
+tails = st.lists(st.floats(min_value=0.1, max_value=500.0,
+                           allow_nan=False, allow_infinity=False),
+                 min_size=1, max_size=24)
+emus = st.lists(st.floats(min_value=0.0, max_value=1.0,
+                          allow_nan=False, allow_infinity=False),
+                min_size=1, max_size=12)
+
+
+class TestRootAggregatorProperties:
+    @given(tails, st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_combine_bounded_by_leaf_extremes(self, leaf_tails, weight):
+        root = RootAggregator(straggler_weight=weight)
+        combined = root.combine(leaf_tails)
+        assert min(leaf_tails) - 1e-9 <= combined <= max(leaf_tails) + 1e-9
+
+    @given(tails, st.randoms(use_true_random=False))
+    @settings(max_examples=60, deadline=None)
+    def test_combine_permutation_invariant(self, leaf_tails, rng):
+        root = RootAggregator()
+        before = root.combine(leaf_tails)
+        shuffled = list(leaf_tails)
+        rng.shuffle(shuffled)
+        assert root.combine(shuffled) == pytest.approx(before, rel=1e-9)
+
+    @given(tails)
+    @settings(max_examples=40, deadline=None)
+    def test_windowed_latency_bounded_by_recorded_samples(self, leaf_tails):
+        root = RootAggregator(window_s=30.0)
+        recorded = [root.record(float(t), leaf_tails[:i + 1])
+                    for i, t in enumerate(range(len(leaf_tails)))]
+        windowed = root.windowed_latency_ms()
+        assert min(recorded) - 1e-9 <= windowed <= max(recorded) + 1e-9
+
+
+class TestClusterCoordinatorProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=60.0,
+                              allow_nan=False), min_size=1, max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_scale_stays_inside_band(self, latencies):
+        coordinator = ClusterCoordinator(root_slo_ms=20.0,
+                                         base_leaf_slo_ms=10.0,
+                                         period_s=1.0)
+        for t, latency in enumerate(latencies):
+            coordinator.step_targets(float(t), latency)
+            assert (coordinator.min_scale - 1e-12 <= coordinator.scale
+                    <= coordinator.max_scale + 1e-12)
+            assert coordinator.leaf_target_ms == pytest.approx(
+                10.0 * coordinator.scale)
+
+    @given(st.floats(min_value=0.0, max_value=60.0, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_single_step_direction_follows_slack(self, latency):
+        coordinator = ClusterCoordinator(root_slo_ms=20.0,
+                                         base_leaf_slo_ms=10.0)
+        coordinator.step_targets(0.0, latency)
+        slack = (20.0 - latency) / 20.0
+        if slack > coordinator.raise_slack:
+            assert coordinator.scale > 1.0
+        elif slack < coordinator.lower_slack:
+            assert coordinator.scale < 1.0
+        else:
+            assert coordinator.scale == 1.0
+
+
+class TestFleetAggregateProperties:
+    @given(st.lists(emus, min_size=1, max_size=8).filter(
+        lambda rows: len({len(r) for r in rows}) == 1))
+    @settings(max_examples=60, deadline=None)
+    def test_fleet_emu_in_unit_interval_and_between_extremes(self, rows):
+        grid = np.array(rows)  # (T, C)
+        leaves = np.arange(1, grid.shape[1] + 1)
+        fleet = fleet_emu_row(grid, leaves)
+        assert ((fleet >= 0.0) & (fleet <= 1.0)).all()
+        assert (fleet >= grid.min(axis=1) - 1e-12).all()
+        assert (fleet <= grid.max(axis=1) + 1e-12).all()
+
+    @given(st.integers(min_value=1, max_value=6),
+           st.integers(min_value=1, max_value=5),
+           st.randoms(use_true_random=False))
+    @settings(max_examples=40, deadline=None)
+    def test_fleet_aggregates_permutation_invariant(self, clusters, ticks,
+                                                    rng):
+        base = np.random.default_rng(7)
+        emu = base.uniform(0.0, 1.0, size=(ticks, clusters))
+        latency = base.uniform(1.0, 50.0, size=(ticks, clusters))
+        load = base.uniform(0.0, 1.0, size=(ticks, clusters))
+        leaves = base.integers(2, 50, size=clusters)
+        order = list(range(clusters))
+        rng.shuffle(order)
+        np.testing.assert_allclose(
+            fleet_emu_row(emu[:, order], leaves[order]),
+            fleet_emu_row(emu, leaves), rtol=1e-9)
+        np.testing.assert_allclose(
+            weighted_root_latency_row(latency[:, order], load[:, order],
+                                      leaves[order]),
+            weighted_root_latency_row(latency, load, leaves), rtol=1e-9)
+
+    @given(st.integers(min_value=1, max_value=6),
+           st.integers(min_value=1, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_weighted_latency_bounded_by_slowest_cluster(self, clusters,
+                                                         ticks):
+        base = np.random.default_rng(clusters * 101 + ticks)
+        latency = base.uniform(1.0, 50.0, size=(ticks, clusters))
+        load = base.uniform(0.0, 1.0, size=(ticks, clusters))
+        leaves = base.integers(2, 50, size=clusters)
+        weighted = weighted_root_latency_row(latency, load, leaves)
+        assert (weighted <= latency.max(axis=1) + 1e-9).all()
+        assert (weighted >= latency.min(axis=1) - 1e-9).all()
+
+    def test_weighted_latency_zero_load_falls_back_to_mean(self):
+        latency = np.array([[10.0, 30.0]])
+        load = np.zeros((1, 2))
+        leaves = np.array([4, 4])
+        weighted = weighted_root_latency_row(latency, load, leaves)
+        assert weighted[0] == pytest.approx(20.0)
+
+    @given(st.integers(min_value=2, max_value=10),
+           st.integers(min_value=5, max_value=40),
+           st.randoms(use_true_random=False))
+    @settings(max_examples=30, deadline=None)
+    def test_rollup_permutation_invariant_under_leaf_reordering(
+            self, leaves, ticks, rng):
+        """Reordering a cluster's leaves never moves its aggregates."""
+        base = np.random.default_rng(leaves * 1000 + ticks)
+        tails = base.uniform(1.0, 40.0, size=(ticks, leaves))
+        emus = base.uniform(0.0, 1.0, size=(ticks, leaves))
+        times = np.arange(ticks, dtype=float)
+        order = list(range(leaves))
+        rng.shuffle(order)
+
+        history = rollup_cluster(times, tails, emus,
+                                 trace=ConstantLoad(0.5), root_slo_ms=25.0,
+                                 record_period_s=5.0)
+        shuffled = rollup_cluster(times, tails[:, order], emus[:, order],
+                                  trace=ConstantLoad(0.5), root_slo_ms=25.0,
+                                  record_period_s=5.0)
+        for name in ("root_latency_ms", "root_slo_fraction", "emu"):
+            np.testing.assert_allclose(shuffled.column(name),
+                                       history.column(name), rtol=1e-9)
+
+    def test_rollup_emu_in_unit_interval_when_leaves_are(self):
+        base = np.random.default_rng(5)
+        tails = base.uniform(1.0, 40.0, size=(60, 4))
+        emus = base.uniform(0.0, 1.0, size=(60, 4))
+        history = rollup_cluster(np.arange(60, dtype=float), tails, emus,
+                                 trace=ConstantLoad(0.5), root_slo_ms=25.0)
+        emu = history.column("emu")
+        assert ((emu >= 0.0) & (emu <= 1.0)).all()

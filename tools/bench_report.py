@@ -1,15 +1,17 @@
 #!/usr/bin/env python
-"""Run the perf-gating benchmarks and write the BENCH_PR3.json report.
+"""Run the perf-gating benchmarks and write the BENCH_PR4.json report.
 
-Usage: ``python tools/bench_report.py [--out BENCH_PR3.json]``
+Usage: ``python tools/bench_report.py [--out BENCH_PR4.json]``
 
 Runs the telemetry benchmark (``benchmarks/test_bench_metrics.py`` —
-history-memory and summary-speed gates, which emits its measurement
-detail as JSON) and the batched-backend benchmark
+history-memory and summary-speed gates), the batched-backend benchmark
 (``benchmarks/test_bench_batch.py`` — cluster speedup and equivalence
-gates), records each suite's wall time and pass/fail, and merges
-everything into one report so CI can upload the perf trajectory as an
-artifact run over run.
+gates), and the sharded-fleet benchmark
+(``benchmarks/test_bench_fleet.py`` — cross-plan bit-identity plus the
+parallel wall-clock speedup gate); the benchmarks that emit measurement
+detail as JSON are merged in.  Each suite's wall time and pass/fail
+land in one report so CI can upload the perf trajectory as an artifact
+run over run.
 
 Exits non-zero if any benchmark gate fails; the report is written
 either way so a failing run still leaves its numbers behind.
@@ -28,10 +30,17 @@ import time
 ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
 
 #: The gating benchmarks whose wall time and verdicts the report records.
+#: name -> (pytest file, extra env).  The fleet benchmark must see
+#: REPRO_JOBS=0 (auto) so its sharded plan actually uses the pool.
 BENCHES = (
-    ("metrics", "benchmarks/test_bench_metrics.py"),
-    ("batch", "benchmarks/test_bench_batch.py"),
+    ("metrics", "benchmarks/test_bench_metrics.py", {}),
+    ("batch", "benchmarks/test_bench_batch.py", {}),
+    ("fleet", "benchmarks/test_bench_fleet.py", {"REPRO_JOBS": "0"}),
 )
+
+#: Benchmarks that write a JSON measurement detail file, keyed by the
+#: environment variable naming the output path.
+DETAIL_ENVS = {"metrics": "REPRO_BENCH_OUT", "fleet": "REPRO_BENCH_FLEET_OUT"}
 
 
 def run_bench(path: str, extra_env: dict) -> dict:
@@ -55,21 +64,23 @@ def run_bench(path: str, extra_env: dict) -> dict:
 def main(argv=None) -> int:
     """Entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_PR3.json",
-                        help="report path (default: ./BENCH_PR3.json)")
+    parser.add_argument("--out", default="BENCH_PR4.json",
+                        help="report path (default: ./BENCH_PR4.json)")
     args = parser.parse_args(argv)
 
-    report = {"report": "BENCH_PR3", "benches": {}}
+    report = {"report": "BENCH_PR4", "benches": {}}
     with tempfile.TemporaryDirectory() as tmp:
-        detail_path = os.path.join(tmp, "metrics_detail.json")
-        for name, path in BENCHES:
-            extra = {"REPRO_BENCH_OUT": detail_path} \
-                if name == "metrics" else {}
+        for name, path, env in BENCHES:
+            extra = dict(env)
+            detail_path = None
+            if name in DETAIL_ENVS:
+                detail_path = os.path.join(tmp, f"{name}_detail.json")
+                extra[DETAIL_ENVS[name]] = detail_path
             print(f"running {path} ...", flush=True)
             report["benches"][name] = run_bench(path, extra)
-        if os.path.exists(detail_path):
-            with open(detail_path, "r", encoding="utf-8") as handle:
-                report["benches"]["metrics"].update(json.load(handle))
+            if detail_path and os.path.exists(detail_path):
+                with open(detail_path, "r", encoding="utf-8") as handle:
+                    report["benches"][name].update(json.load(handle))
 
     report["tests_passed"] = all(b["passed"]
                                  for b in report["benches"].values())
