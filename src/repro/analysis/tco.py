@@ -105,6 +105,23 @@ class TcoModel:
             heracles_utilization)
         return new / base - 1.0
 
+    def harvest_gain(self, lc_utilization: float,
+                     harvested_utilization: float) -> float:
+        """Throughput/TCO gain from scheduler-harvested BE utilization.
+
+        The fleet scheduler's feed into the cost model: a cluster
+        whose LC work alone keeps servers at ``lc_utilization`` and
+        whose scheduled best-effort jobs add ``harvested_utilization``
+        (credited BE core-hours over total core-hours) is compared
+        against the LC-only cluster, power cost of the extra
+        utilization included — the §5.3 argument, with the harvested
+        fraction measured instead of assumed.
+        """
+        if harvested_utilization < 0:
+            raise ValueError("harvested utilization cannot be negative")
+        return self.throughput_per_tco_gain(
+            lc_utilization, lc_utilization + harvested_utilization)
+
     def energy_proportionality_gain(self, utilization: float,
                                     idle_savings_fraction: float = 0.5
                                     ) -> float:

@@ -3,7 +3,10 @@
 Runs any of the paper's experiments, a quickstart demo, the whole
 suite, or a declarative scenario (``scenario <name-or-file>``; see
 ``docs/scenarios.md``), printing the same tables/series the paper's
-figures report.
+figures report.  Fleet-scale shapes get dedicated commands: ``fleet``
+runs a sharded multi-cluster fleet, ``sched`` runs a fleet with a
+best-effort job queue scheduled over its Heracles slack signals
+(including the policy-vs-static goodput/TCO comparison).
 """
 
 from __future__ import annotations
@@ -31,7 +34,12 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
 #: Commands whose work fans out across the sweep runner; ``--jobs``
 #: only affects these (plus ``all``, which includes them).
 SWEEP_COMMANDS = frozenset({"fig4", "fig5", "fig6", "fig8", "all",
-                            "scenario", "fleet"})
+                            "scenario", "fleet", "sched"})
+
+#: Placement policies the ``sched`` command may select (mirrors
+#: :data:`repro.sched.policies.POLICIES` without importing the engine
+#: at parser-build time).
+SCHED_POLICIES = ("slack-greedy", "round-robin", "static")
 
 
 def quickstart(seed: int = 42) -> None:
@@ -119,6 +127,35 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument(
         "--shard-leaves", type=int, default=None, metavar="N",
         help="override the fleet's maximum leaves per shard (>= 1)")
+
+    sched = sub.add_parser(
+        "sched",
+        help="run a scheduled fleet scenario (BE job queue over slack)",
+        description="Compile and run a schedule-shaped scenario: the "
+                    "fleet is simulated once, the best-effort job queue "
+                    "is placed over its Heracles slack signals, and the "
+                    "goodput/TCO roll-up is compared against the "
+                    "static-provisioning baseline (docs/scenarios.md "
+                    "documents the ScheduleSpec schema).")
+    sched.add_argument(
+        "scenario", nargs="?", default=None, metavar="name-or-file",
+        help="a registered schedule scenario name or a spec file path")
+    sched.add_argument(
+        "--list", action="store_true", dest="list_scenarios",
+        help="list registered schedule scenarios and exit")
+    add_jobs(sched)
+    sched.add_argument(
+        "--seed", type=int, default=None,
+        help="override the scenario's base seed")
+    sched.add_argument(
+        "--shard-leaves", type=int, default=None, metavar="N",
+        help="override the fleet's maximum leaves per shard (>= 1)")
+    sched.add_argument(
+        "--policy", choices=SCHED_POLICIES, default=None,
+        help="override the scenario's placement policy")
+    sched.add_argument(
+        "--no-compare", action="store_true",
+        help="skip the policy-vs-static comparison replay")
     return parser
 
 
@@ -187,6 +224,14 @@ def _run_scenario_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_shard_leaves(args: argparse.Namespace, command: str) -> None:
+    """Reject non-positive ``--shard-leaves`` before any work starts."""
+    if args.shard_leaves is not None and args.shard_leaves < 1:
+        raise SystemExit(
+            f"{command}: --shard-leaves must be a positive leaf count, "
+            f"got {args.shard_leaves}")
+
+
 def _run_fleet_command(args: argparse.Namespace) -> int:
     """Handle ``repro fleet [name-or-file] [--list] [--shard-leaves N]``."""
     import dataclasses
@@ -200,12 +245,16 @@ def _run_fleet_command(args: argparse.Namespace) -> int:
     if args.scenario is None:
         raise SystemExit("fleet: give a registered fleet scenario name or "
                          "a spec file path (or --list)")
+    _check_shard_leaves(args, "fleet")
     try:
         spec = _resolve_scenario_spec(args.scenario)
         if spec.fleet is None:
+            hint = "run it with the 'sched' command instead" \
+                if spec.schedule is not None \
+                else "run it with the 'scenario' command instead"
             raise SystemExit(
-                f"fleet: scenario {spec.name!r} is not fleet-shaped; run "
-                f"it with the 'scenario' command instead")
+                f"fleet: scenario {spec.name!r} is not fleet-shaped; "
+                f"{hint}")
         if args.seed is not None:
             spec = dataclasses.replace(spec, seed=args.seed)
         if args.shard_leaves is not None:
@@ -219,6 +268,60 @@ def _run_fleet_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_sched_command(args: argparse.Namespace) -> int:
+    """Handle ``repro sched [name-or-file] [--policy P] [...]``."""
+    import dataclasses
+
+    from .scenarios import ScenarioError, compile_scenario, registry
+    if args.list_scenarios:
+        for name in registry.names():
+            if registry.get(name).schedule is not None:
+                print(f"{name:<16} {registry.description(name)}")
+        return 0
+    if args.scenario is None:
+        raise SystemExit("sched: give a registered schedule scenario name "
+                         "or a spec file path (or --list)")
+    _check_shard_leaves(args, "sched")
+    try:
+        spec = _resolve_scenario_spec(args.scenario)
+        if spec.schedule is None:
+            hint = "run it with the 'fleet' command instead" \
+                if spec.fleet is not None \
+                else "run it with the 'scenario' command instead"
+            raise SystemExit(
+                f"sched: scenario {spec.name!r} is not schedule-shaped; "
+                f"{hint}")
+        if args.seed is not None:
+            spec = dataclasses.replace(spec, seed=args.seed)
+        overrides = {}
+        if args.shard_leaves is not None:
+            overrides["fleet"] = dataclasses.replace(
+                spec.schedule.fleet, shard_leaves=args.shard_leaves)
+        if args.policy is not None:
+            overrides["policy"] = args.policy
+        if overrides:
+            spec = dataclasses.replace(
+                spec, schedule=dataclasses.replace(spec.schedule,
+                                                   **overrides))
+        result = compile_scenario(spec).run()
+    except ScenarioError as exc:
+        raise SystemExit(f"sched: {exc}") from exc
+    print(result.render(), end="")
+    if not args.no_compare and spec.schedule.jobs \
+            and result.schedule.policy != "static":
+        from .sched import compare_policies, render_comparison
+        # The scenario's own policy already ran inside the compiled
+        # scenario; only the static baseline needs a replay.
+        outcomes = {result.schedule.policy: result.schedule}
+        outcomes.update(compare_policies(
+            result.fleet.slack, spec.schedule.expand_jobs(),
+            policies=("static",),
+            queue_limit=spec.schedule.queue_limit))
+        print(render_comparison(outcomes, fleet=result.fleet,
+                                skip_s=spec.warmup_s), end="")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Parse arguments and dispatch to the selected command."""
     args = build_parser().parse_args(argv)
@@ -227,6 +330,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_scenario_command(args)
     if args.experiment == "fleet":
         return _run_fleet_command(args)
+    if args.experiment == "sched":
+        return _run_sched_command(args)
     if args.experiment == "quickstart":
         quickstart(seed=args.seed)
         return 0

@@ -20,9 +20,11 @@ see ``docs/scenarios.md``) runnable as
 ``python -m repro.cli fleet <name-or-file>``.
 """
 
-from .aggregate import (FleetTelemetry, assemble_cluster,
+from .aggregate import (AssembledCluster, FleetSlackView, FleetTelemetry,
+                        LeafSlackView, assemble_cluster,
                         build_fleet_telemetry, fleet_emu_row,
-                        rollup_cluster, weighted_root_latency_row)
+                        reduce_leaf_epochs, rollup_cluster,
+                        weighted_root_latency_row)
 from .shard import (ShardResult, ShardTask, overlapping_seed_ranges,
                     partition_leaves, run_shard)
 from .simulator import (DEFAULT_SHARD_LEAVES, ClusterOutcome, ClusterPlan,
@@ -30,9 +32,10 @@ from .simulator import (DEFAULT_SHARD_LEAVES, ClusterOutcome, ClusterPlan,
 
 __all__ = [
     "DEFAULT_SHARD_LEAVES",
-    "ClusterOutcome", "ClusterPlan", "FleetResult", "FleetTelemetry",
+    "AssembledCluster", "ClusterOutcome", "ClusterPlan", "FleetResult",
+    "FleetSlackView", "FleetTelemetry", "LeafSlackView",
     "ShardResult", "ShardTask", "ShardedFleetSim",
     "assemble_cluster", "build_fleet_telemetry", "fleet_emu_row",
-    "overlapping_seed_ranges", "partition_leaves", "rollup_cluster",
-    "run_shard", "weighted_root_latency_row",
+    "overlapping_seed_ranges", "partition_leaves", "reduce_leaf_epochs",
+    "rollup_cluster", "run_shard", "weighted_root_latency_row",
 ]

@@ -1,6 +1,6 @@
 """Fleet telemetry roll-up: shards → clusters → fleet columns.
 
-Two stages, both deterministic and shard-count-independent:
+Three stages, all deterministic and shard-count-independent:
 
 1. :func:`rollup_cluster` reassembles a cluster's per-tick leaf
    telemetry from its shard slices (concatenated in global leaf order)
@@ -19,10 +19,17 @@ Two stages, both deterministic and shard-count-independent:
    derives the fleet aggregates: leaf-weighted fleet EMU and
    load-weighted root latency, stored as shared columns alongside the
    per-cluster ones.
+
+3. :func:`reduce_leaf_epochs` folds the raw per-tick leaf telemetry
+   into the decision-epoch granularity the fleet scheduler consumes —
+   per-leaf harvested BE core-seconds, the Heracles BE-core grant, and
+   the SLO latch — as a compact :class:`LeafSlackView` per cluster
+   (stacked fleet-wide by :class:`FleetSlackView`).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
 import numpy as np
@@ -35,11 +42,28 @@ from ..workloads.traces import LoadTrace
 from .shard import ShardResult
 
 
+@dataclass
+class AssembledCluster:
+    """One cluster's leaf telemetry, reassembled in global leaf order.
+
+    ``times_s`` is the shared (T,) tick clock; ``tails_ms`` and
+    ``emus`` are (T, leaves).  ``be_norm`` / ``be_cores`` carry the
+    scheduler's slack signals when the shards collected them
+    (``collect_be``), else they are empty (0, 0) arrays.
+    """
+
+    times_s: np.ndarray
+    tails_ms: np.ndarray
+    emus: np.ndarray
+    be_norm: np.ndarray
+    be_cores: np.ndarray
+
+
 def assemble_cluster(shards: Sequence[ShardResult],
-                     total_leaves: Optional[int] = None):
+                     total_leaves: Optional[int] = None) -> AssembledCluster:
     """Concatenate one cluster's shard slices into leaf-ordered arrays.
 
-    Returns ``(times_s, tails_ms, emus)`` with the leaf axis in global
+    Returns an :class:`AssembledCluster` with the leaf axis in global
     leaf order.  Shards must tile the population contiguously — from
     leaf 0 up to ``total_leaves`` when given — and agree on the tick
     clock; all of it is asserted, since a violation (a missing shard,
@@ -66,7 +90,155 @@ def assemble_cluster(shards: Sequence[ShardResult],
     times = ordered[0].times_s
     tails = np.concatenate([s.tails_ms for s in ordered], axis=1)
     emus = np.concatenate([s.emus for s in ordered], axis=1)
-    return times, tails, emus
+    if all(s.be_norm.size or not s.times_s.size for s in ordered):
+        be_norm = np.concatenate([s.be_norm for s in ordered], axis=1) \
+            if times.size else np.zeros((0, 0))
+        be_cores = np.concatenate([s.be_cores for s in ordered], axis=1) \
+            if times.size else np.zeros((0, 0))
+    else:
+        be_norm = be_cores = np.zeros((0, 0))
+    return AssembledCluster(times_s=times, tails_ms=tails, emus=emus,
+                            be_norm=be_norm, be_cores=be_cores)
+
+
+@dataclass
+class LeafSlackView:
+    """One cluster's per-leaf slack signals at decision-epoch grain.
+
+    The scheduler never sees raw ticks: the (T, leaves) telemetry is
+    folded into epochs of ``epoch_s`` simulated seconds (tick-counted,
+    like the record cadence), keeping the view small enough to hold
+    for a 1000-leaf 12-hour run while preserving exactly the signals
+    Algorithm 1 exposes — how much BE throughput Heracles actually
+    harvested, how many cores it granted BE, and whether the leaf
+    latched an SLO violation.
+
+    Arrays are (E, leaves): ``harvest_core_s`` is the normalized BE
+    core-seconds each leaf harvested during the epoch (BE throughput
+    normalized to a whole dedicated server x machine cores x seconds);
+    ``grant_cores`` is the floor of the mean Heracles BE-core grant;
+    ``latched`` marks epochs where any tick's tail latency reached the
+    leaf SLO.  ``epoch_t_s`` / ``epoch_len_s`` are (E,).
+    """
+
+    cluster: str
+    total_cores: int
+    epoch_t_s: np.ndarray
+    epoch_len_s: np.ndarray
+    harvest_core_s: np.ndarray
+    grant_cores: np.ndarray
+    latched: np.ndarray
+
+    @property
+    def epochs(self) -> int:
+        """Number of decision epochs in the view."""
+        return len(self.epoch_t_s)
+
+    @property
+    def leaves(self) -> int:
+        """Number of leaves in the cluster."""
+        return self.harvest_core_s.shape[1]
+
+
+def reduce_leaf_epochs(assembled: AssembledCluster, cluster: str,
+                       leaf_slo_ms: float, total_cores: int,
+                       epoch_s: float, dt_s: float) -> LeafSlackView:
+    """Fold per-tick leaf telemetry into a :class:`LeafSlackView`.
+
+    Args:
+        assembled: the cluster's leaf-ordered telemetry (must carry the
+            BE signals, i.e. the shards ran with ``collect_be``).
+        cluster: the cluster's name (carried through for reporting).
+        leaf_slo_ms: the uniform leaf latency target the latch compares
+            against.
+        total_cores: physical cores of the cluster's machine spec (the
+            EMU denominator that converts normalized BE throughput to
+            core-seconds).
+        epoch_s: decision-epoch length in simulated seconds; the epoch
+            is tick-counted (``max(1, round(epoch_s / dt_s))`` ticks),
+            the same derivation every cadence in the repo uses.
+        dt_s: tick size of the recorded run.
+    """
+    if epoch_s <= 0:
+        raise ValueError("epoch_s must be positive")
+    if dt_s <= 0:
+        raise ValueError("dt must be positive")
+    steps, leaves = assembled.tails_ms.shape
+    if steps and assembled.be_norm.shape != (steps, leaves):
+        raise ValueError(
+            f"cluster {cluster!r}: BE slack signals were not collected "
+            f"(run the shards with collect_be=True)")
+    epoch_ticks = max(1, int(round(epoch_s / dt_s)))
+    starts = np.arange(0, steps, epoch_ticks)
+    if not steps:
+        empty = np.zeros((0, leaves))
+        return LeafSlackView(cluster=cluster, total_cores=total_cores,
+                             epoch_t_s=np.zeros(0), epoch_len_s=np.zeros(0),
+                             harvest_core_s=empty, grant_cores=empty,
+                             latched=empty.astype(bool))
+    ticks_per = np.diff(np.append(starts, steps))
+    harvest = np.add.reduceat(assembled.be_norm, starts, axis=0) \
+        * total_cores * dt_s
+    grant = np.floor(np.add.reduceat(assembled.be_cores, starts, axis=0)
+                     / ticks_per[:, None])
+    latched = np.maximum.reduceat(assembled.tails_ms, starts, axis=0) \
+        >= leaf_slo_ms
+    return LeafSlackView(
+        cluster=cluster, total_cores=total_cores,
+        epoch_t_s=assembled.times_s[starts],
+        epoch_len_s=ticks_per * dt_s,
+        harvest_core_s=harvest, grant_cores=grant, latched=latched)
+
+
+class FleetSlackView:
+    """The fleet-wide slack view: per-cluster epochs, stacked by leaf.
+
+    Concatenates the clusters' :class:`LeafSlackView` arrays along the
+    leaf axis (in fleet plan order, so global leaf identity is stable
+    whatever the shard partition) and exposes the flattened (E, N)
+    signal arrays the placement policies consume.
+    """
+
+    def __init__(self, views: Sequence[LeafSlackView]):
+        views = list(views)
+        if not views:
+            raise ValueError("a fleet slack view needs at least one cluster")
+        first = views[0]
+        for view in views[1:]:
+            if not np.array_equal(view.epoch_t_s, first.epoch_t_s):
+                raise ValueError(
+                    f"clusters {first.cluster!r} and {view.cluster!r} "
+                    f"disagree on the epoch clock")
+        self.views = views
+        self.epoch_t_s = first.epoch_t_s
+        self.epoch_len_s = first.epoch_len_s
+        self.harvest_core_s = np.concatenate(
+            [v.harvest_core_s for v in views], axis=1)
+        self.grant_cores = np.concatenate(
+            [v.grant_cores for v in views], axis=1)
+        self.latched = np.concatenate([v.latched for v in views], axis=1)
+        self.leaf_cores = np.concatenate(
+            [np.full(v.leaves, v.total_cores) for v in views])
+        self.leaf_cluster = np.concatenate(
+            [np.full(v.leaves, i) for i, v in enumerate(views)])
+        self.cluster_names = [v.cluster for v in views]
+
+    @property
+    def epochs(self) -> int:
+        """Number of decision epochs."""
+        return len(self.epoch_t_s)
+
+    @property
+    def leaves(self) -> int:
+        """Total fleet leaf population."""
+        return self.harvest_core_s.shape[1]
+
+    def cluster_view(self, name: str) -> LeafSlackView:
+        """Look up one cluster's slack view by name."""
+        for view in self.views:
+            if view.cluster == name:
+                return view
+        raise KeyError(f"no cluster named {name!r} in this slack view")
 
 
 def rollup_cluster(times_s: np.ndarray,

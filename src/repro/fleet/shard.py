@@ -28,7 +28,7 @@ reference engine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 import numpy as np
@@ -121,6 +121,10 @@ class ShardTask:
         seed: cluster base seed; leaf ``i`` draws noise from
             ``seed * 1000 + i``.
         duration_s / dt_s: run length and tick size.
+        collect_be: additionally record per-leaf BE telemetry
+            (normalized BE throughput and Heracles-granted BE cores)
+            each tick — the slack signals the fleet scheduler consumes.
+            Off by default: plain fleet runs pay nothing for the hook.
     """
 
     cluster: str
@@ -138,6 +142,7 @@ class ShardTask:
     seed: int
     duration_s: float
     dt_s: float
+    collect_be: bool = False
 
     @property
     def leaves(self) -> int:
@@ -154,6 +159,11 @@ class ShardResult:
     ``summary`` holds the shard-local aggregates (mean EMU, worst leaf
     tail) the fleet reports per shard — and which the differential
     benchmark pins bit-identical across execution plans.
+
+    ``be_norm`` and ``be_cores`` are the scheduler's slack signals —
+    per-tick normalized BE throughput and Heracles-granted BE cores per
+    leaf, also ``(T, leaves)``.  They are empty ``(0, 0)`` arrays
+    unless the task asked for them (``collect_be=True``).
     """
 
     cluster: str
@@ -165,6 +175,10 @@ class ShardResult:
     tails_ms: np.ndarray
     emus: np.ndarray
     summary: Dict[str, float]
+    be_norm: np.ndarray = field(
+        default_factory=lambda: np.zeros((0, 0)))
+    be_cores: np.ndarray = field(
+        default_factory=lambda: np.zeros((0, 0)))
 
     def stripped(self) -> "ShardResult":
         """A summary-only copy with the bulk telemetry dropped.
@@ -228,11 +242,22 @@ def run_shard(task: ShardTask) -> ShardResult:
     times = np.empty(steps)
     tails = np.empty((steps, n))
     emus = np.empty((steps, n))
+    if task.collect_be:
+        be_norm = np.empty((steps, n))
+        be_cores = np.empty((steps, n))
+    else:
+        be_norm = be_cores = np.zeros((0, 0))
     for k in range(steps):
         result = batch.tick(task.dt_s)
         times[k] = result.t_s
         tails[k] = result.tail_latency_ms
         emus[k] = result.emu
+        if task.collect_be:
+            be_norm[k] = result.be_throughput_norm
+            # Read after the controllers' step, so the recorded grant
+            # is what the next tick will actually run with — the same
+            # state a cluster scheduler would poll from Heracles.
+            be_cores[k] = [m.actuators.be_cores for m in batch.members]
     if steps:
         summary = {
             "mean_emu": float(emus.mean()),
@@ -251,4 +276,4 @@ def run_shard(task: ShardTask) -> ShardResult:
         cluster=task.cluster, cluster_index=task.cluster_index,
         shard_index=task.shard_index, leaf_lo=task.leaf_lo,
         leaf_hi=task.leaf_hi, times_s=times, tails_ms=tails, emus=emus,
-        summary=summary)
+        summary=summary, be_norm=be_norm, be_cores=be_cores)

@@ -44,8 +44,9 @@ from ..sim.runner import run_sweep
 from ..workloads.best_effort import BE_PROFILES
 from ..workloads.latency_critical import LC_PROFILES
 from ..workloads.traces import LoadTrace
-from .aggregate import (FleetTelemetry, assemble_cluster,
-                        build_fleet_telemetry, rollup_cluster)
+from .aggregate import (FleetSlackView, FleetTelemetry, assemble_cluster,
+                        build_fleet_telemetry, reduce_leaf_epochs,
+                        rollup_cluster)
 from .shard import (ShardResult, ShardTask, overlapping_seed_ranges,
                     partition_leaves, run_shard)
 
@@ -137,13 +138,16 @@ class FleetResult:
 
     ``clusters`` holds each cluster's bit-exact
     :class:`ClusterHistory` roll-up plus summary-only shard records;
-    ``telemetry`` is the fleet-level column store.
+    ``telemetry`` is the fleet-level column store.  ``slack`` is the
+    decision-epoch per-leaf slack view the fleet scheduler consumes —
+    populated only when the run asked for it (``slack_epoch_s``).
     """
 
     clusters: List[ClusterOutcome]
     telemetry: FleetTelemetry
     duration_s: float
     dt_s: float
+    slack: Optional[FleetSlackView] = None
 
     def cluster(self, name: str) -> ClusterOutcome:
         """Look up one cluster's outcome by name."""
@@ -236,7 +240,8 @@ class ShardedFleetSim:
                 for plan in self.clusters}
 
     def _tasks(self, duration_s: float, dt_s: float,
-               targets: Dict[str, Tuple[float, float]]) -> List[ShardTask]:
+               targets: Dict[str, Tuple[float, float]],
+               collect_be: bool = False) -> List[ShardTask]:
         """Materialize the picklable shard work units."""
         tasks = []
         for index, plan in enumerate(self.clusters):
@@ -250,11 +255,13 @@ class ShardedFleetSim:
                     total_leaves=plan.leaves, lc_name=plan.lc_name,
                     be_mix=tuple(plan.be_mix), leaf_slo_ms=leaf_slo_ms,
                     spec=spec, trace=plan.trace, managed=plan.managed,
-                    seed=plan.seed, duration_s=duration_s, dt_s=dt_s))
+                    seed=plan.seed, duration_s=duration_s, dt_s=dt_s,
+                    collect_be=collect_be))
         return tasks
 
     def run(self, duration_s: float, dt_s: float = 1.0,
-            processes: Optional[int] = None) -> FleetResult:
+            processes: Optional[int] = None,
+            slack_epoch_s: Optional[float] = None) -> FleetResult:
         """Run the whole fleet and roll up its telemetry.
 
         Args:
@@ -265,6 +272,12 @@ class ShardedFleetSim:
                 (``None`` = auto via ``REPRO_JOBS`` /
                 :func:`repro.sim.runner.default_jobs`; ``1`` forces
                 the serial in-process path).
+            slack_epoch_s: when given, shards additionally collect the
+                per-leaf BE slack signals and the result carries a
+                :class:`FleetSlackView` at this decision-epoch
+                granularity (the scheduler hook).  ``None`` keeps the
+                plain fleet run — no extra telemetry, bit-identical to
+                what this method always produced.
 
         Returns:
             The populated :class:`FleetResult`.
@@ -273,13 +286,16 @@ class ShardedFleetSim:
             raise ValueError("duration must be positive")
         if dt_s <= 0:
             raise ValueError("dt must be positive")
+        if slack_epoch_s is not None and slack_epoch_s <= 0:
+            raise ValueError("slack_epoch_s must be positive")
         targets = {
             plan.name: cluster_slo_targets(
                 plan.spec or default_machine_spec(), plan.leaves,
                 lc_name=plan.lc_name)
             for plan in self.clusters
         }
-        tasks = self._tasks(duration_s, dt_s, targets)
+        tasks = self._tasks(duration_s, dt_s, targets,
+                            collect_be=slack_epoch_s is not None)
         results = run_sweep(run_shard, tasks, processes=processes)
 
         by_cluster: Dict[str, List[ShardResult]] = {}
@@ -289,27 +305,36 @@ class ShardedFleetSim:
 
         outcomes = []
         histories: Dict[str, ClusterHistory] = {}
+        slack_views = []
         for plan in self.clusters:
             leaf_slo_ms, root_slo_ms = targets[plan.name]
             # Pop each cluster's shard list so its bulk (T, n) arrays
             # are released as soon as they are rolled up — peak memory
             # is one cluster's telemetry, not the whole fleet's.
             shard_results = by_cluster.pop(plan.name)
-            times, tails, emus = assemble_cluster(shard_results,
-                                                  total_leaves=plan.leaves)
+            assembled = assemble_cluster(shard_results,
+                                         total_leaves=plan.leaves)
             history = rollup_cluster(
-                times, tails, emus, trace=plan.trace,
-                root_slo_ms=root_slo_ms,
+                assembled.times_s, assembled.tails_ms, assembled.emus,
+                trace=plan.trace, root_slo_ms=root_slo_ms,
                 record_period_s=self.record_period_s, dt_s=dt_s)
             histories[plan.name] = history
+            if slack_epoch_s is not None:
+                spec = plan.spec or default_machine_spec()
+                slack_views.append(reduce_leaf_epochs(
+                    assembled, cluster=plan.name, leaf_slo_ms=leaf_slo_ms,
+                    total_cores=spec.total_cores, epoch_s=slack_epoch_s,
+                    dt_s=dt_s))
             outcomes.append(ClusterOutcome(
                 name=plan.name, leaves=plan.leaves, managed=plan.managed,
                 leaf_slo_ms=leaf_slo_ms, root_slo_ms=root_slo_ms,
                 history=history,
                 shards=[s.stripped() for s in shard_results]))
-            del shard_results, times, tails, emus
+            del shard_results, assembled
         telemetry = build_fleet_telemetry(
             histories, [plan.name for plan in self.clusters],
             [plan.leaves for plan in self.clusters])
+        slack = FleetSlackView(slack_views) if slack_epoch_s is not None \
+            else None
         return FleetResult(clusters=outcomes, telemetry=telemetry,
-                           duration_s=duration_s, dt_s=dt_s)
+                           duration_s=duration_s, dt_s=dt_s, slack=slack)

@@ -30,15 +30,15 @@ from .compiler import (CompiledScenario, InjectionSchedule, MemberResult,
                        run_scenario)
 from .loader import load_scenario, loads_scenario, parse_simple_yaml
 from .spec import (CONTROLLERS, ENGINES, INJECTION_ACTIONS, ClusterSpec,
-                   FleetSpec, InjectionSpec, ScenarioError, ScenarioSpec,
-                   ServerSpec, ShardSpec, SpikeSpec, SweepSpec, TraceSpec,
-                   WorkloadSpec)
+                   FleetSpec, InjectionSpec, JobSpec, ScenarioError,
+                   ScenarioSpec, ScheduleSpec, ServerSpec, ShardSpec,
+                   SpikeSpec, SweepSpec, TraceSpec, WorkloadSpec)
 
 __all__ = [
     "CONTROLLERS", "ENGINES", "INJECTION_ACTIONS",
-    "ClusterSpec", "FleetSpec", "InjectionSpec", "ScenarioError",
-    "ScenarioSpec", "ServerSpec", "ShardSpec", "SpikeSpec", "SweepSpec",
-    "TraceSpec", "WorkloadSpec",
+    "ClusterSpec", "FleetSpec", "InjectionSpec", "JobSpec",
+    "ScenarioError", "ScenarioSpec", "ScheduleSpec", "ServerSpec",
+    "ShardSpec", "SpikeSpec", "SweepSpec", "TraceSpec", "WorkloadSpec",
     "CompiledScenario", "InjectionSchedule", "MemberResult",
     "ScenarioResult", "SweepGrid", "compile_scenario", "run_scenario",
     "load_scenario", "loads_scenario", "parse_simple_yaml",

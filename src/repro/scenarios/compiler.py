@@ -16,7 +16,11 @@ execution layers below it.  Each scenario *shape* lowers differently:
   WebsearchCluster` arms dispatched through the same runner;
 * ``fleet`` — a sharded multi-cluster :class:`~repro.fleet.simulator.
   ShardedFleetSim`, every cluster partitioned into homogeneous shards
-  fanned across the runner's process pool.
+  fanned across the runner's process pool;
+* ``schedule`` — the same sharded fleet run with the per-leaf slack
+  view collected, then the :mod:`repro.sched` scheduler placing the
+  spec's best-effort job queue over it (an empty queue leaves the
+  fleet/cluster histories bit-identical to the plain ``fleet`` run).
 
 Typical use::
 
@@ -38,6 +42,7 @@ from ..core.controller import HeraclesController
 from ..experiments.common import (ColocationResult, baseline_cell,
                                   colocation_sweep)
 from ..fleet import ClusterPlan, FleetResult, ShardedFleetSim
+from ..sched import ScheduleOutcome, run_schedule, tco_summary
 from ..sim.actuators import Actuators
 from ..sim.batch import BatchColocationSim
 from ..sim.engine import ColocationSim, Controller, SimHistory
@@ -154,6 +159,7 @@ class ScenarioResult:
     cluster_arms: Dict[str, ClusterHistory] = field(default_factory=dict)
     root_slo_ms: Optional[float] = None
     fleet: Optional[FleetResult] = None
+    schedule: Optional[ScheduleOutcome] = None
 
     def render(self) -> str:
         """Human-readable report (what the CLI prints)."""
@@ -163,6 +169,8 @@ class ScenarioResult:
             return self._render_cluster()
         if self.kind == "fleet":
             return self._render_fleet()
+        if self.kind == "schedule":
+            return self._render_schedule()
         return self._render_members()
 
     def _render_members(self) -> str:
@@ -235,13 +243,31 @@ class ScenarioResult:
             f"latency {summary['weighted_root_latency_ms']:.1f} ms")
         return "\n".join(lines) + "\n"
 
+    def _render_schedule(self) -> str:
+        lines = [self._render_fleet().rstrip("\n")]
+        outcome = self.schedule
+        s = outcome.summary()
+        lines.append(
+            f"scheduler [{outcome.policy}]: {s['completed']}/{s['jobs']} "
+            f"jobs completed ({s['rejected']} rejected, "
+            f"{s['evictions']} evictions), goodput "
+            f"{s['goodput_core_h']:.1f} core-h, credited "
+            f"{s['credited_core_h']:.1f} of {s['harvested_core_h']:.1f} "
+            f"harvested core-h")
+        tco = tco_summary(outcome, self.fleet, skip_s=self.spec.warmup_s)
+        lines.append(
+            f"scheduled BE adds {tco['harvested_utilization']:.1%} fleet "
+            f"utilization over the {tco['lc_utilization']:.1%} LC "
+            f"baseline -> {tco['tco_gain']:+.1%} throughput/TCO")
+        return "\n".join(lines) + "\n"
+
 
 class CompiledScenario:
     """A spec lowered onto the engine stack, ready to run.
 
     ``kind`` is one of ``single`` (scalar engine), ``batch``, ``sweep``,
-    ``cluster`` or ``fleet``.  :meth:`build` materializes the simulation
-    object
+    ``cluster``, ``fleet`` or ``schedule``.  :meth:`build` materializes
+    the simulation object
     for member scenarios (useful for stepping manually or attaching
     extra instrumentation); :meth:`run` executes the whole scenario and
     returns a :class:`ScenarioResult`.
@@ -256,6 +282,8 @@ class CompiledScenario:
             self.kind = "cluster"
         elif spec.fleet is not None:
             self.kind = "fleet"
+        elif spec.schedule is not None:
+            self.kind = "schedule"
         elif len(spec.members) > 1 or spec.engine == "batch":
             self.kind = "batch"
         else:
@@ -342,6 +370,8 @@ class CompiledScenario:
             return self._run_cluster(processes)
         if self.kind == "fleet":
             return self._run_fleet(processes)
+        if self.kind == "schedule":
+            return self._run_schedule(processes)
         return self._run_members()
 
     def _run_members(self) -> ScenarioResult:
@@ -382,9 +412,14 @@ class CompiledScenario:
             result.sweeps[lc_name] = grid
         return result
 
-    def _run_fleet(self, processes: Optional[int]) -> ScenarioResult:
+    def _build_fleet(self, fleet_spec) -> ShardedFleetSim:
+        """Lower a :class:`FleetSpec` onto the sharded fleet simulator.
+
+        Shared by the ``fleet`` and ``schedule`` shapes, so a scheduled
+        fleet is constructed *identically* to the plain fleet it wraps
+        — the root of the empty-queue bit-identity gate.
+        """
         spec = self.spec
-        fleet_spec = spec.fleet
         plans = [
             ClusterPlan(
                 name=cluster.name,
@@ -399,12 +434,29 @@ class CompiledScenario:
                 seed=fleet_spec.cluster_seed(i, spec.seed))
             for i, cluster in enumerate(fleet_spec.clusters)
         ]
-        fleet = ShardedFleetSim(
+        return ShardedFleetSim(
             plans, shard_leaves=fleet_spec.shard_leaves,
             record_period_s=fleet_spec.record_period_s)
+
+    def _run_fleet(self, processes: Optional[int]) -> ScenarioResult:
+        spec = self.spec
+        fleet = self._build_fleet(spec.fleet)
         outcome = fleet.run(spec.duration_s, dt_s=spec.dt_s,
                             processes=processes)
         return ScenarioResult(spec=spec, kind="fleet", fleet=outcome)
+
+    def _run_schedule(self, processes: Optional[int]) -> ScenarioResult:
+        spec = self.spec
+        schedule = spec.schedule
+        fleet = self._build_fleet(schedule.fleet)
+        outcome = fleet.run(spec.duration_s, dt_s=spec.dt_s,
+                            processes=processes,
+                            slack_epoch_s=schedule.epoch_s)
+        scheduled = run_schedule(outcome.slack, schedule.expand_jobs(),
+                                 policy=schedule.policy,
+                                 queue_limit=schedule.queue_limit)
+        return ScenarioResult(spec=spec, kind="schedule", fleet=outcome,
+                              schedule=scheduled)
 
     def _run_cluster(self, processes: Optional[int]) -> ScenarioResult:
         spec = self.spec

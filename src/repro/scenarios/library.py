@@ -18,8 +18,9 @@ from typing import Optional, Sequence
 
 from ..workloads.latency_critical import LC_PROFILES
 from .registry import register
-from .spec import (ClusterSpec, FleetSpec, ScenarioSpec, ServerSpec,
-                   ShardSpec, SpikeSpec, SweepSpec, TraceSpec, WorkloadSpec)
+from .spec import (ClusterSpec, FleetSpec, JobSpec, ScenarioSpec,
+                   ScheduleSpec, ServerSpec, ShardSpec, SpikeSpec,
+                   SweepSpec, TraceSpec, WorkloadSpec)
 
 #: BE tasks shown in Figure 4 (iperf omitted for websearch/ml_cluster in
 #: the paper's plot because they are network-insensitive; we compute it
@@ -195,7 +196,7 @@ def mixed_fleet_1k_scenario(time_compression: float = 1.0,
     def diurnal(phase_s: float = 0.0) -> TraceSpec:
         return TraceSpec(kind="diurnal", low=0.20, high=0.90,
                          period_s=period, noise_sigma=0.02,
-                         phase_s=phase_s / time_compression)
+                         phase_s=_compressed(phase_s, time_compression))
 
     return ScenarioSpec(
         name="mixed-fleet-1k",
@@ -263,6 +264,146 @@ def follow_the_sun_scenario(time_compression: float = 1.0,
                 for i, region in enumerate(regions))))
 
 
+def batch_backlog_1k_scenario(time_compression: float = 1.0,
+                              leaves_scale: float = 1.0,
+                              shard_leaves: int = 64,
+                              seed: int = 7,
+                              policy: str = "slack-greedy") -> ScenarioSpec:
+    """A 1000-leaf diurnal fleet chewing through a deep batch backlog.
+
+    The scheduler benchmark's scenario (`benchmarks/test_bench_sched.py`
+    gates slack-greedy >= 1.2x static goodput on it): four managed
+    clusters ride phase-shifted 12-hour diurnal days — so which leaves
+    have slack keeps moving — while a fifth ``legacy`` cluster runs no
+    Heracles at all (zero harvest; static pinning wastes every job it
+    lands there).  The queue holds a backlog of ~1000 batch jobs, all
+    present at t=0: image-crunch work (bulky, wide) plus
+    higher-priority stitch jobs (small, narrow).
+
+    Args:
+        time_compression: shrink factor for quick looks — durations,
+            trace periods, job demand, *and* the decision epoch shrink
+            together, so the schedule's shape survives compression.
+        leaves_scale: scale factor on every cluster's leaf count.
+        shard_leaves: maximum leaves per execution shard.
+        seed: base seed (cluster ``i`` defaults to ``seed + i``).
+        policy: the placement policy the scenario runs under (the CLI's
+            ``--policy`` and the benchmark's comparison override this).
+    """
+    if not 0.0 < leaves_scale <= 1.0:
+        raise ValueError("leaves_scale must be in (0, 1]")
+    period = _compressed(12 * 3600.0, time_compression)
+    duration = period
+
+    def scaled(leaves: int) -> int:
+        return max(2, int(round(leaves * leaves_scale)))
+
+    def diurnal(phase_s: float = 0.0) -> TraceSpec:
+        return TraceSpec(kind="diurnal", low=0.20, high=0.90,
+                         period_s=period, noise_sigma=0.02,
+                         phase_s=_compressed(phase_s, time_compression))
+
+    jobs_scale = max(1, int(round(40 * leaves_scale)))
+    return ScenarioSpec(
+        name="batch-backlog-1k",
+        description="1000-leaf diurnal fleet + legacy cluster, ~1000-job "
+                    "batch backlog scheduled over Heracles slack",
+        duration_s=duration,
+        warmup_s=min(600.0, 0.5 * duration),
+        seed=seed,
+        schedule=ScheduleSpec(
+            policy=policy,
+            epoch_s=_compressed(60.0, time_compression),
+            fleet=FleetSpec(
+                shard_leaves=shard_leaves,
+                clusters=(
+                    ShardSpec(name="web-core", leaves=scaled(350),
+                              lc="websearch", trace=diurnal()),
+                    ShardSpec(name="web-himem", leaves=scaled(250),
+                              lc="websearch",
+                              be_mix=("stream-DRAM", "brain"),
+                              server=ServerSpec(dram_bw_gbps=80.0),
+                              trace=diurnal(phase_s=1800.0)),
+                    ShardSpec(name="kv-edge", leaves=scaled(200),
+                              lc="memkeyval",
+                              be_mix=("iperf", "stream-LLC"),
+                              server=ServerSpec(link_gbps=40.0),
+                              trace=diurnal(phase_s=3600.0)),
+                    ShardSpec(name="ml-batch", leaves=scaled(100),
+                              lc="ml_cluster", be_mix=("brain", "cpu_pwr"),
+                              trace=diurnal(phase_s=5400.0)),
+                    # No Heracles, no harvest: the share of the estate
+                    # static provisioning wastes jobs on.
+                    ShardSpec(name="legacy", leaves=scaled(100),
+                              lc="websearch", managed=False,
+                              trace=diurnal(phase_s=7200.0)),
+                )),
+            jobs=(
+                JobSpec(name="crunch",
+                        demand_core_s=_compressed(200_000.0,
+                                                  time_compression),
+                        max_cores=8, count=20 * jobs_scale),
+                JobSpec(name="stitch", priority=1,
+                        demand_core_s=_compressed(40_000.0,
+                                                  time_compression),
+                        max_cores=4, count=5 * jobs_scale),
+            )))
+
+
+def diurnal_scavenger_scenario(time_compression: float = 1.0,
+                               leaves_per_region: int = 60,
+                               shard_leaves: int = 32,
+                               seed: int = 11) -> ScenarioSpec:
+    """Follow-the-sun scavenging: jobs chase slack around the planet.
+
+    The :func:`follow_the_sun_scenario` fleet (three regions,
+    phase-shifted 24-hour diurnal days) with batch waves arriving every
+    few simulated hours and a bounded queue — as each region's traffic
+    peaks, the scheduler migrates the scavenging work to whichever
+    region is in its trough, and admission control bounces waves that
+    arrive while the queue is still digesting the previous one.
+
+    Args:
+        time_compression: shrink factor for quick looks (durations,
+            periods, demand, arrivals and the epoch shrink together).
+        leaves_per_region: leaf population of each regional cluster.
+        shard_leaves: maximum leaves per execution shard.
+        seed: base seed (region ``i`` defaults to ``seed + i``).
+    """
+    period = _compressed(24 * 3600.0, time_compression)
+    duration = _compressed(12 * 3600.0, time_compression)
+    regions = ("us-east", "eu-west", "ap-south")
+    waves = tuple(
+        JobSpec(name=f"wave{w}",
+                demand_core_s=_compressed(30_000.0, time_compression),
+                max_cores=6, count=3 * leaves_per_region,
+                arrival_s=w * duration / 4.0)
+        for w in range(4)
+    )
+    return ScenarioSpec(
+        name="diurnal-scavenger",
+        description="Three-region follow-the-sun fleet scavenged by "
+                    "arriving batch waves under admission control",
+        duration_s=duration,
+        warmup_s=min(600.0, 0.5 * duration),
+        seed=seed,
+        schedule=ScheduleSpec(
+            policy="slack-greedy",
+            epoch_s=_compressed(120.0, time_compression),
+            queue_limit=6 * leaves_per_region,
+            fleet=FleetSpec(
+                shard_leaves=shard_leaves,
+                clusters=tuple(
+                    ShardSpec(name=region, leaves=leaves_per_region,
+                              lc="websearch",
+                              trace=TraceSpec(kind="diurnal", low=0.20,
+                                              high=0.90, period_s=period,
+                                              noise_sigma=0.02,
+                                              phase_s=i * period / 3.0))
+                    for i, region in enumerate(regions))),
+            jobs=waves))
+
+
 register("fig4", fig4_scenario,
          "Figure 4 grid: 3 LC x 6 BE x 10 loads under Heracles")
 register("fig8", fig8_scenario,
@@ -275,3 +416,7 @@ register("mixed-fleet-1k", mixed_fleet_1k_scenario,
          "1000-leaf, 4-cluster heterogeneous fleet, 12 h diurnal day")
 register("follow-the-sun", follow_the_sun_scenario,
          "Three regions on an 8 h phase-shifted 24 h diurnal day")
+register("batch-backlog-1k", batch_backlog_1k_scenario,
+         "1000-leaf diurnal fleet scheduling a ~1000-job batch backlog")
+register("diurnal-scavenger", diurnal_scavenger_scenario,
+         "Follow-the-sun fleet scavenged by arriving batch job waves")

@@ -724,6 +724,201 @@ class FleetSpec:
 
 
 @dataclass(frozen=True)
+class JobSpec:
+    """One typed best-effort job (or a batch of identical ones).
+
+    Lowered onto :class:`~repro.sched.jobs.BeJob`: demand is measured
+    in core-seconds of normalized BE throughput (the EMU currency),
+    ``max_cores`` bounds fleet-wide parallelism, higher ``priority``
+    runs first, and ``count`` expands the spec into that many identical
+    jobs named ``name-000``, ``name-001``, ... — the declarative way to
+    write a backlog.
+
+    Args:
+        name: unique job (or batch) name.
+        demand_core_s: total work per job, in normalized core-seconds
+            (must be positive).
+        max_cores: per-job parallelism limit (>= 1).
+        priority: higher is more urgent; ties break by arrival, then
+            name.
+        arrival_s: simulated time the job(s) join the queue.
+        count: how many identical jobs this spec expands into (>= 1).
+    """
+
+    name: str
+    demand_core_s: float
+    max_cores: int = 8
+    priority: int = 0
+    arrival_s: float = 0.0
+    count: int = 1
+
+    _FIELDS = ("name", "demand_core_s", "max_cores", "priority",
+               "arrival_s", "count")
+    _INT_FIELDS = ("max_cores", "priority", "count")
+
+    @classmethod
+    def from_dict(cls, data: Any, ctx: str = "job") -> "JobSpec":
+        """Build from a mapping, rejecting unknown fields."""
+        data = _require_mapping(data, ctx)
+        _reject_unknown(data, cls._FIELDS, ctx)
+        for required in ("name", "demand_core_s"):
+            if required not in data:
+                raise ScenarioError(f"{ctx}: missing required field "
+                                    f"{required!r}")
+        if not isinstance(data["name"], str) or not data["name"]:
+            raise ScenarioError(f"{ctx}.name: expected a non-empty string")
+        kwargs: Dict[str, Any] = {
+            "name": data["name"],
+            "demand_core_s": _number(data["demand_core_s"],
+                                     f"{ctx}.demand_core_s"),
+        }
+        for name in cls._INT_FIELDS:
+            if name in data:
+                value = data[name]
+                if isinstance(value, bool) or not isinstance(value, int):
+                    raise ScenarioError(f"{ctx}.{name}: expected an "
+                                        f"integer, got {value!r}")
+                kwargs[name] = value
+        if "arrival_s" in data:
+            kwargs["arrival_s"] = _number(data["arrival_s"],
+                                          f"{ctx}.arrival_s")
+        spec = cls(**kwargs)
+        spec.validate(ctx)
+        return spec
+
+    def validate(self, ctx: str = "job") -> None:
+        """Check demand, limits, arrival, and the batch count."""
+        if not self.name:
+            raise ScenarioError(f"{ctx}.name: expected a non-empty string")
+        if not self.demand_core_s > 0:
+            raise ScenarioError(f"{ctx}.demand_core_s: must be positive, "
+                                f"got {self.demand_core_s!r}")
+        if self.max_cores < 1:
+            raise ScenarioError(f"{ctx}.max_cores: must be >= 1, got "
+                                f"{self.max_cores!r}")
+        if self.arrival_s < 0:
+            raise ScenarioError(f"{ctx}.arrival_s: must be >= 0, got "
+                                f"{self.arrival_s!r}")
+        if self.count < 1:
+            raise ScenarioError(f"{ctx}.count: must be >= 1, got "
+                                f"{self.count!r}")
+
+    def expand(self):
+        """Materialize the runtime :class:`~repro.sched.jobs.BeJob` list.
+
+        A ``count`` of 1 keeps the bare name; larger batches suffix
+        ``-000``, ``-001``, ... so every job keeps a unique accounting
+        key.
+        """
+        from ..sched.jobs import BeJob
+        if self.count == 1:
+            return [BeJob(name=self.name,
+                          demand_core_s=self.demand_core_s,
+                          max_cores=self.max_cores,
+                          priority=self.priority,
+                          arrival_s=self.arrival_s)]
+        return [BeJob(name=f"{self.name}-{i:03d}",
+                      demand_core_s=self.demand_core_s,
+                      max_cores=self.max_cores,
+                      priority=self.priority,
+                      arrival_s=self.arrival_s)
+                for i in range(self.count)]
+
+
+@dataclass(frozen=True)
+class ScheduleSpec:
+    """A scheduled fleet (the scenario's fifth shape).
+
+    Wraps a :class:`FleetSpec` — the machines the scheduler places
+    onto, simulated exactly as a plain ``fleet:`` scenario would be —
+    plus the best-effort job queue and the scheduling knobs.  With an
+    empty ``jobs`` list the run is *bit-identical* to the plain fleet
+    run (the scheduler meters jobs over Heracles' slack; it never
+    changes leaf physics).
+
+    Args:
+        fleet: the fleet to schedule over.
+        jobs: the typed BE job queue (expanded via ``count``; names
+            must stay unique after expansion).
+        policy: placement policy — one of
+            :data:`repro.sched.policies.POLICIES`.
+        epoch_s: decision-epoch length in simulated seconds.
+        queue_limit: admission control — arrivals past this many
+            waiting-or-running jobs are rejected (0 = unlimited).
+    """
+
+    fleet: FleetSpec
+    jobs: Tuple[JobSpec, ...] = ()
+    policy: str = "slack-greedy"
+    epoch_s: float = 60.0
+    queue_limit: int = 0
+
+    _FIELDS = ("fleet", "jobs", "policy", "epoch_s", "queue_limit")
+
+    @classmethod
+    def from_dict(cls, data: Any, ctx: str = "schedule") -> "ScheduleSpec":
+        """Build from a mapping, rejecting unknown fields."""
+        data = _require_mapping(data, ctx)
+        _reject_unknown(data, cls._FIELDS, ctx)
+        if "fleet" not in data:
+            raise ScenarioError(f"{ctx}: missing required field 'fleet'")
+        kwargs: Dict[str, Any] = {
+            "fleet": FleetSpec.from_dict(data["fleet"], f"{ctx}.fleet")}
+        if "jobs" in data:
+            jobs = data["jobs"]
+            if not isinstance(jobs, (list, tuple)):
+                raise ScenarioError(f"{ctx}.jobs: expected a list of job "
+                                    f"mappings, got {jobs!r}")
+            kwargs["jobs"] = tuple(
+                JobSpec.from_dict(j, f"{ctx}.jobs[{i}]")
+                for i, j in enumerate(jobs))
+        if "policy" in data:
+            kwargs["policy"] = data["policy"]
+        if "epoch_s" in data:
+            kwargs["epoch_s"] = _number(data["epoch_s"], f"{ctx}.epoch_s")
+        if "queue_limit" in data:
+            limit = data["queue_limit"]
+            if isinstance(limit, bool) or not isinstance(limit, int):
+                raise ScenarioError(f"{ctx}.queue_limit: expected an "
+                                    f"integer, got {limit!r}")
+            kwargs["queue_limit"] = limit
+        spec = cls(**kwargs)
+        spec.validate(ctx)
+        return spec
+
+    def validate(self, ctx: str = "schedule") -> None:
+        """Check the fleet, the job queue, and the scheduling knobs."""
+        from ..sched.policies import POLICIES
+        self.fleet.validate(f"{ctx}.fleet")
+        if self.policy not in POLICIES:
+            raise ScenarioError(
+                f"{ctx}.policy: unknown scheduling policy "
+                f"{self.policy!r}; choose from {', '.join(POLICIES)}")
+        if self.epoch_s <= 0:
+            raise ScenarioError(f"{ctx}.epoch_s: must be positive")
+        if self.queue_limit < 0:
+            raise ScenarioError(f"{ctx}.queue_limit: must be >= 0 "
+                                f"(0 = unlimited)")
+        names = set()
+        for i, job in enumerate(self.jobs):
+            job.validate(f"{ctx}.jobs[{i}]")
+            for expanded in job.expand():
+                if expanded.name in names:
+                    raise ScenarioError(
+                        f"{ctx}.jobs[{i}]: job name {expanded.name!r} "
+                        f"collides after expansion; names are the "
+                        f"accounting key and must stay unique")
+                names.add(expanded.name)
+
+    def expand_jobs(self):
+        """The full runtime job list (every spec's ``count`` expanded)."""
+        jobs = []
+        for job in self.jobs:
+            jobs.extend(job.expand())
+        return jobs
+
+
+@dataclass(frozen=True)
 class InjectionSpec:
     """A timed actuation applied mid-run to every member.
 
@@ -780,8 +975,9 @@ class ScenarioSpec:
     """A complete, self-contained experiment description.
 
     Exactly one of ``members`` (explicit servers), ``sweep`` (a grid of
-    constant-load runs), ``cluster`` (the §5.3 minicluster) or
-    ``fleet`` (a sharded multi-cluster fleet) selects the scenario
+    constant-load runs), ``cluster`` (the §5.3 minicluster), ``fleet``
+    (a sharded multi-cluster fleet) or ``schedule`` (a fleet with a
+    best-effort job queue scheduled over it) selects the scenario
     shape; the compiler lowers each shape onto a different part of the
     engine stack (see :mod:`repro.scenarios.compiler`).
 
@@ -797,8 +993,8 @@ class ScenarioSpec:
         seed: base RNG seed (members without an explicit seed get
             ``seed + index``).
         engine: ``auto`` | ``scalar`` | ``batch`` for member scenarios.
-        members / sweep / cluster / fleet: the scenario shape (exactly
-            one).
+        members / sweep / cluster / fleet / schedule: the scenario
+            shape (exactly one).
         injections: timed actuations applied to every member.
     """
 
@@ -815,11 +1011,12 @@ class ScenarioSpec:
     sweep: Optional[SweepSpec] = None
     cluster: Optional[ClusterSpec] = None
     fleet: Optional[FleetSpec] = None
+    schedule: Optional[ScheduleSpec] = None
     injections: Tuple[InjectionSpec, ...] = ()
 
     _FIELDS = ("name", "description", "server", "controller", "duration_s",
                "dt_s", "warmup_s", "seed", "engine", "members", "sweep",
-               "cluster", "fleet", "injections")
+               "cluster", "fleet", "schedule", "injections")
 
     @classmethod
     def from_dict(cls, data: Any, ctx: str = "scenario") -> "ScenarioSpec":
@@ -869,6 +1066,9 @@ class ScenarioSpec:
         if "fleet" in data and data["fleet"] is not None:
             kwargs["fleet"] = FleetSpec.from_dict(data["fleet"],
                                                   f"{ctx}.fleet")
+        if "schedule" in data and data["schedule"] is not None:
+            kwargs["schedule"] = ScheduleSpec.from_dict(data["schedule"],
+                                                        f"{ctx}.schedule")
         if "injections" in data:
             injections = data["injections"]
             if not isinstance(injections, (list, tuple)):
@@ -882,12 +1082,14 @@ class ScenarioSpec:
 
     def validate(self, ctx: str = "scenario") -> None:
         """Validate the whole spec tree (shape, ranges, nested specs)."""
-        shapes = [s for s in ("members", "sweep", "cluster", "fleet")
+        shapes = [s for s in ("members", "sweep", "cluster", "fleet",
+                              "schedule")
                   if (getattr(self, s) or None) is not None]
         if len(shapes) != 1:
             raise ScenarioError(
-                f"{ctx}: exactly one of 'members', 'sweep', 'cluster' or "
-                f"'fleet' must be given (got {shapes or 'none'})")
+                f"{ctx}: exactly one of 'members', 'sweep', 'cluster', "
+                f"'fleet' or 'schedule' must be given "
+                f"(got {shapes or 'none'})")
         if self.controller not in CONTROLLERS:
             raise ScenarioError(
                 f"{ctx}.controller: unknown controller "
@@ -913,7 +1115,8 @@ class ScenarioSpec:
             raise ScenarioError(f"{ctx}.dt_s: sweep cells always run at "
                                 f"the engine's 1 s tick; drop dt_s")
         if (self.sweep is not None or self.cluster is not None
-                or self.fleet is not None) and self.engine != "auto":
+                or self.fleet is not None
+                or self.schedule is not None) and self.engine != "auto":
             raise ScenarioError(
                 f"{ctx}.engine: only member scenarios take a top-level "
                 f"engine (cluster scenarios set cluster.engine; fleets "
@@ -921,12 +1124,14 @@ class ScenarioSpec:
         if self.injections and not self.members:
             raise ScenarioError(f"{ctx}.injections: injections require a "
                                 f"'members' scenario")
-        if self.fleet is not None and not self.server.is_default():
+        fleet_like = self.fleet if self.fleet is not None else (
+            self.schedule.fleet if self.schedule is not None else None)
+        if fleet_like is not None and not self.server.is_default():
             raise ScenarioError(
                 f"{ctx}.server: fleet scenarios declare hardware per "
                 f"cluster (fleet.clusters[*].server), not at the top "
                 f"level")
-        if self.fleet is not None and self.controller != "heracles":
+        if fleet_like is not None and self.controller != "heracles":
             raise ScenarioError(
                 f"{ctx}.controller: fleet scenarios run Heracles on "
                 f"managed clusters and nothing on baseline ones; set "
@@ -941,6 +1146,10 @@ class ScenarioSpec:
         if self.fleet is not None:
             self.fleet.validate(f"{ctx}.fleet")
             self.fleet.validate_seeds(self.seed, f"{ctx}.fleet")
+        if self.schedule is not None:
+            self.schedule.validate(f"{ctx}.schedule")
+            self.schedule.fleet.validate_seeds(self.seed,
+                                               f"{ctx}.schedule.fleet")
         for i, injection in enumerate(self.injections):
             injection.validate(f"{ctx}.injections[{i}]")
 

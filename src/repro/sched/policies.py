@@ -1,0 +1,208 @@
+"""Placement policies: which leaves get which best-effort jobs.
+
+A policy sees one :class:`PlacementContext` per decision epoch — the
+previous epoch's per-leaf slack signals (per-slot harvest rate, the
+Heracles BE-core grant, the SLO latch) plus the queue in priority
+order — and returns, for each job, the BE core slots it should hold on
+which leaves this epoch.  Policies are *pure*: same context, same
+placement, which is what makes scheduling runs bit-reproducible across
+shard counts and worker pools.
+
+Three policies ship, mirroring the evaluation axes of the paper's
+cluster study:
+
+* ``slack-greedy`` — the Heracles-driven scheduler: pack the queue
+  onto the leaves with the highest per-slot harvest rate, skipping
+  leaves that latched their SLO last epoch;
+* ``round-robin`` — slack-blind spreading: cycle the leaf list,
+  placing one slot at a time wherever Heracles granted cores;
+* ``static`` — static provisioning, the paper's baseline: each job is
+  pinned to one leaf at admission and never migrates, whatever the
+  leaf's slack does.
+
+Every policy honours the same hard constraint: a leaf is never
+assigned more slots than its (previous-epoch) Heracles grant, which
+itself never exceeds the machine's core count — the capacity
+invariant ``tests/test_sched_properties.py`` pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .jobs import JobRecord
+
+#: Registered policy names, in the order the docs list them.
+POLICIES = ("slack-greedy", "round-robin", "static")
+
+
+@dataclass
+class PlacementContext:
+    """Everything a policy may consult for one epoch's decision.
+
+    ``rate_per_core`` (N,) is the previous epoch's harvested
+    core-seconds per granted BE core slot per second — the policy's
+    estimate of what one slot on each leaf will earn; ``cap`` (N,) is
+    the previous epoch's Heracles BE-core grant (the slot supply);
+    ``latched`` (N,) flags leaves that hit their SLO last epoch.
+    ``jobs`` is the runnable queue in priority order.
+    """
+
+    epoch: int
+    epoch_len_s: float
+    rate_per_core: np.ndarray
+    cap: np.ndarray
+    latched: np.ndarray
+    jobs: Sequence[JobRecord]
+
+    @property
+    def leaves(self) -> int:
+        """Fleet leaf population."""
+        return len(self.cap)
+
+
+Placement = List[Dict[int, int]]
+
+
+class Policy:
+    """Interface: a named, pure placement function."""
+
+    #: Registry name (also what scenario specs select by).
+    name = "abstract"
+
+    def place(self, ctx: PlacementContext) -> Placement:
+        """Return one ``{leaf: cores}`` dict per job in ``ctx.jobs``."""
+        raise NotImplementedError
+
+
+class SlackGreedyPolicy(Policy):
+    """Pack jobs onto the highest-harvest leaves first.
+
+    Leaves are ranked by predicted per-slot harvest rate (descending,
+    leaf index breaking ties); leaves with no predicted harvest and
+    leaves that latched their SLO last epoch are excluded outright —
+    the scheduler reads the latch exactly as Borg would read a
+    Heracles "DISABLED" signal.  Jobs take slots in priority order, up
+    to their parallelism limit, until the queue or the slot supply is
+    exhausted (the work-conservation property).
+    """
+
+    name = "slack-greedy"
+
+    def place(self, ctx: PlacementContext) -> Placement:
+        """Greedy descending-rate packing (see class docstring)."""
+        usable = (ctx.rate_per_core > 0) & ~ctx.latched
+        free = np.where(usable, ctx.cap, 0).astype(int)
+        # Stable sort on negated rate: equal-rate leaves stay in leaf
+        # order, so the packing is one deterministic sequence.  The
+        # cursor never retreats — slots are consumed front to back —
+        # keeping one epoch's packing O(leaves + jobs).
+        order = [int(i) for i in np.argsort(-ctx.rate_per_core,
+                                            kind="stable")
+                 if usable[i] and free[i] > 0]
+        pos = 0
+        placement: Placement = []
+        for record in ctx.jobs:
+            out: Dict[int, int] = {}
+            want = record.job.max_cores
+            while want > 0 and pos < len(order):
+                leaf = order[pos]
+                grab = int(min(free[leaf], want))
+                if grab > 0:
+                    free[leaf] -= grab
+                    want -= grab
+                    out[leaf] = out.get(leaf, 0) + grab
+                if free[leaf] == 0:
+                    pos += 1
+            placement.append(out)
+        return placement
+
+
+class RoundRobinPolicy(Policy):
+    """Spread slots across the leaf list, blind to slack.
+
+    Cycles the leaf population (rotating the starting leaf by epoch so
+    no prefix of the fleet is structurally favoured), handing each job
+    one slot at a time wherever a grant exists.  Uses the same grant
+    caps as every policy but ignores harvest rates and latches — the
+    "spread for balance" strawman between static pinning and
+    slack-driven packing.
+    """
+
+    name = "round-robin"
+
+    def place(self, ctx: PlacementContext) -> Placement:
+        """One-slot-at-a-time rotation over the granted leaves."""
+        free = np.maximum(ctx.cap, 0).astype(int)
+        leaves = [int(i) for i in range(ctx.leaves) if free[i] > 0]
+        placement: Placement = []
+        if not leaves:
+            return [{} for _ in ctx.jobs]
+        cursor = ctx.epoch % len(leaves)
+        for record in ctx.jobs:
+            out: Dict[int, int] = {}
+            taken = 0
+            # Keep cycling the ring — one slot per leaf per pass —
+            # until the job is satisfied or a full pass finds nothing
+            # free (jobs wider than the ring wrap around it).
+            progressed = True
+            while taken < record.job.max_cores and progressed:
+                progressed = False
+                for step in range(len(leaves)):
+                    if taken >= record.job.max_cores:
+                        break
+                    leaf = leaves[(cursor + step) % len(leaves)]
+                    if free[leaf] > 0:
+                        free[leaf] -= 1
+                        out[leaf] = out.get(leaf, 0) + 1
+                        taken += 1
+                        progressed = True
+            cursor = (cursor + 1) % len(leaves)
+            placement.append(out)
+        return placement
+
+
+class StaticPolicy(Policy):
+    """Static provisioning: jobs are pinned at admission, forever.
+
+    Each job holds slots only on its pinned leaf (assigned by the
+    scheduler at admission time, round-robin over the population), up
+    to that leaf's grant.  No migration, no reaction to latches — this
+    is the baseline the paper's TCO argument measures Heracles-driven
+    scheduling against.
+    """
+
+    name = "static"
+
+    def place(self, ctx: PlacementContext) -> Placement:
+        """Slots on the pinned leaf only, capped by its grant."""
+        free = np.maximum(ctx.cap, 0).astype(int)
+        placement: Placement = []
+        for record in ctx.jobs:
+            out: Dict[int, int] = {}
+            leaf = record.pinned_leaf
+            if leaf is not None and free[leaf] > 0:
+                grab = int(min(free[leaf], record.job.max_cores))
+                free[leaf] -= grab
+                out[leaf] = grab
+            placement.append(out)
+        return placement
+
+
+_POLICY_TYPES = {cls.name: cls for cls in (SlackGreedyPolicy,
+                                           RoundRobinPolicy, StaticPolicy)}
+assert set(_POLICY_TYPES) == set(POLICIES)
+
+
+def make_policy(policy: "str | Policy") -> Policy:
+    """Resolve a policy name (or pass an instance through)."""
+    if isinstance(policy, Policy):
+        return policy
+    try:
+        return _POLICY_TYPES[policy]()
+    except KeyError:
+        raise ValueError(f"unknown scheduling policy {policy!r}; choose "
+                         f"from {', '.join(POLICIES)}") from None

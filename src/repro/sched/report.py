@@ -1,0 +1,152 @@
+"""Scheduler reporting: goodput and TCO roll-ups, policy comparisons.
+
+Turns a :class:`~repro.sched.scheduler.ScheduleOutcome` (plus the
+fleet run it metered) into the numbers the paper's cluster study
+reports: BE core-hours harvested, the utilization they add on top of
+the latency-critical load, and the throughput/TCO gain of that uplift
+through :class:`~repro.analysis.tco.TcoModel` — versus the ``static``
+provisioning baseline, which is replayed over the *same* fleet slack
+view so the comparison holds SLO attainment exactly equal by
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from ..analysis.tco import TcoModel, TcoParameters
+from ..fleet.aggregate import FleetSlackView
+from ..fleet.simulator import FleetResult
+from .jobs import BeJob
+from .policies import Policy
+from .scheduler import ScheduleOutcome, run_schedule
+
+
+def fleet_core_seconds(slack: FleetSlackView, skip_s: float = 0.0) -> float:
+    """Physical core-seconds the fleet offered from ``skip_s`` on."""
+    if not slack.epochs:
+        return 0.0
+    keep = slack.epoch_t_s >= skip_s
+    duration = float(slack.epoch_len_s[keep].sum())
+    return float(slack.leaf_cores.sum()) * duration
+
+
+def credited_core_seconds(outcome: ScheduleOutcome,
+                          skip_s: float = 0.0) -> float:
+    """Credited core-seconds earned in epochs starting at ``skip_s``+.
+
+    Reads the outcome's per-epoch accounting columns so the credit can
+    be windowed consistently with the other TCO inputs; an outcome with
+    no store (empty job list) credited nothing.
+    """
+    if outcome.store is None or not len(outcome.store):
+        return 0.0
+    t = outcome.store.column("t_s")
+    credited = outcome.store.column("credited_core_s")
+    return float(credited[t >= skip_s].sum())
+
+
+def lc_utilization(fleet: FleetResult, skip_s: float = 0.0) -> float:
+    """Leaf-weighted mean LC load across the fleet (the TCO baseline).
+
+    The offered LC load *is* the utilization a no-colocation fleet
+    runs at (§5.3's 20-90% band) — what the servers would do with
+    their cores if no best-effort work were scheduled onto them.
+    """
+    telemetry = fleet.telemetry
+    t = telemetry.times()
+    if not len(t):
+        return 0.0
+    keep = t >= skip_s
+    if not keep.any():
+        return 0.0
+    loads = telemetry.column("load")[keep]
+    weights = np.asarray(telemetry.cluster_leaves, dtype=float)
+    return float((loads @ weights).mean() / weights.sum())
+
+
+def tco_summary(outcome: ScheduleOutcome, fleet: FleetResult,
+                skip_s: float = 0.0,
+                params: TcoParameters = TcoParameters()) -> Dict[str, float]:
+    """The scheduler's feed into the §5.3 cost model.
+
+    Returns the LC-only baseline utilization, the utilization the
+    scheduler's *credited* BE work adds on top of it, and the
+    throughput/TCO gain of that uplift (power cost of the extra
+    utilization included).  All three utilizations are measured over
+    the same post-``skip_s`` window, so a warm-up prefix excluded from
+    the LC baseline is excluded from the harvested credit too.
+    """
+    if fleet.slack is None:
+        raise ValueError("the fleet run carries no slack view; run it "
+                         "with slack_epoch_s to schedule over it")
+    total = fleet_core_seconds(fleet.slack, skip_s=skip_s)
+    credited = credited_core_seconds(outcome, skip_s=skip_s)
+    harvested_util = credited / total if total else 0.0
+    base_util = lc_utilization(fleet, skip_s=skip_s)
+    model = TcoModel(params)
+    gain = model.harvest_gain(base_util, harvested_util) if base_util > 0 \
+        else 0.0
+    return {
+        "lc_utilization": base_util,
+        "harvested_utilization": harvested_util,
+        "goodput_core_h": outcome.goodput_core_s / 3600.0,
+        "credited_core_h": outcome.credited_core_s / 3600.0,
+        "tco_gain": gain,
+    }
+
+
+def compare_policies(slack: FleetSlackView, jobs: Sequence[BeJob],
+                     policies: Sequence[Union[str, Policy]] = (
+                         "slack-greedy", "static"),
+                     queue_limit: int = 0) -> Dict[str, ScheduleOutcome]:
+    """Replay several policies over one fleet's slack view.
+
+    The fleet is simulated once; each policy is pure accounting over
+    the same signals, so per-cluster SLO attainment is *identical*
+    across the compared outcomes — the "equal SLO" leg of the PR-5
+    gate holds by construction, and the goodput ratios isolate the
+    placement decision itself.
+    """
+    out: Dict[str, ScheduleOutcome] = {}
+    for policy in policies:
+        outcome = run_schedule(slack, jobs, policy=policy,
+                               queue_limit=queue_limit)
+        out[outcome.policy] = outcome
+    return out
+
+
+def render_comparison(outcomes: Dict[str, ScheduleOutcome],
+                      fleet: Optional[FleetResult] = None,
+                      skip_s: float = 0.0,
+                      baseline: str = "static") -> str:
+    """Human-readable policy comparison table (what the CLI prints)."""
+    lines = []
+    header = (f"{'policy':<14} {'done':>5} {'rej':>4} {'evict':>6} "
+              f"{'goodput':>10} {'credited':>10} {'wasted':>9} {'vs-static':>10}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    base = outcomes.get(baseline)
+    for name, outcome in outcomes.items():
+        s = outcome.summary()
+        if base is not None and name != baseline \
+                and base.goodput_core_s > 0:
+            vs = f"{outcome.goodput_core_s / base.goodput_core_s:>9.2f}x"
+        else:
+            vs = f"{'-':>10}"
+        lines.append(
+            f"{name:<14} {s['completed']:>5} {s['rejected']:>4} "
+            f"{s['evictions']:>6} {s['goodput_core_h']:>8.1f}ch "
+            f"{s['credited_core_h']:>8.1f}ch {s['wasted_core_h']:>7.1f}ch "
+            f"{vs}")
+    if fleet is not None and fleet.slack is not None:
+        for name, outcome in outcomes.items():
+            tco = tco_summary(outcome, fleet, skip_s=skip_s)
+            lines.append(
+                f"{name}: +{tco['harvested_utilization']:.1%} fleet "
+                f"utilization from scheduled BE (LC baseline "
+                f"{tco['lc_utilization']:.1%}) -> "
+                f"{tco['tco_gain']:+.1%} throughput/TCO")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,301 @@
+"""The decision-epoch scheduling engine ("Borg-lite").
+
+:func:`run_schedule` replays a fleet run's per-leaf slack signals
+(:class:`~repro.fleet.aggregate.FleetSlackView`) epoch by epoch and
+manages a queue of typed :class:`~repro.sched.jobs.BeJob` work:
+admission control, policy-driven placement, SLO-latch eviction, and
+per-job completion/goodput accounting.
+
+Decision loop (one iteration per epoch ``e``)::
+
+    signals  <- slack view of epoch e-1        (reactive, like Borg:
+                                                decisions see only
+                                                observed telemetry)
+    admit    <- arrivals with arrival_s <= t_e (queue_limit bounces)
+    place    <- policy(signals, queue)         (caps: Heracles grant)
+    credit   <- epoch e's actual harvest, split over placed slots
+    evict    <- leaves that latched the SLO in epoch e forfeit the
+                epoch's credit (jobs on them count an eviction)
+    complete <- jobs whose credited progress covers their demand
+
+Scheduling is a *metering* layer: leaf-local isolation (how many
+cores BE may hold, when BE must be disabled) remains entirely
+Heracles' job, exactly as in the paper's deployment where Heracles
+runs under an unmodified cluster scheduler.  Placement therefore
+decides which jobs the harvested headroom is credited to — and how
+much of it is wasted for want of placed work — never the physics of
+the leaves themselves.  That separation is what makes a scheduled run
+with an empty queue *bit-identical* to the plain fleet run (the PR-5
+differential gate), and every decision a pure function of the slack
+view, so results are reproducible across shard counts and worker
+pools.
+
+Accounting lands in a jobs-on-the-member-axis
+:class:`~repro.metrics.columns.BatchColumnStore`: per-epoch assigned
+slots and credited core-seconds per job, plus shared fleet-level
+columns (queue length, placed slots, harvested/credited/wasted
+core-seconds, evictions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..fleet.aggregate import FleetSlackView
+from ..metrics.columns import BatchColumnStore
+from .jobs import BeJob, JobRecord, JobState, expand_jobs
+from .policies import PlacementContext, Policy, make_policy
+
+#: Numerical slop when deciding a job's demand is fully retired.
+_COMPLETION_EPS = 1e-9
+
+
+@dataclass
+class ScheduleOutcome:
+    """Everything one scheduling run produced.
+
+    ``jobs`` holds the per-job records in queue (accounting) order —
+    the same order as the job axis of ``store``.  ``store`` is the
+    epoch-by-epoch accounting column store (``None`` when the job list
+    was empty: nothing to account).  The scalar totals are the
+    headline numbers the benchmark gates.
+    """
+
+    policy: str
+    epoch_s: float
+    jobs: List[JobRecord]
+    store: Optional[BatchColumnStore]
+    goodput_core_s: float = 0.0
+    credited_core_s: float = 0.0
+    harvested_core_s: float = 0.0
+    wasted_core_s: float = 0.0
+    evictions: int = 0
+    rejected: int = 0
+
+    @property
+    def completed(self) -> int:
+        """Number of jobs that retired their full demand."""
+        return sum(1 for r in self.jobs if r.state == JobState.COMPLETED)
+
+    @property
+    def goodput_core_h(self) -> float:
+        """Completed-job demand in core-hours (the TCO currency)."""
+        return self.goodput_core_s / 3600.0
+
+    def job(self, name: str) -> JobRecord:
+        """Look up one job's record by name."""
+        for record in self.jobs:
+            if record.job.name == name:
+                return record
+        raise KeyError(f"no job named {name!r} in this schedule")
+
+    def summary(self) -> Dict[str, float]:
+        """Deterministic plain-float summary (the comparison contract)."""
+        return {
+            "policy": self.policy,
+            "jobs": len(self.jobs),
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "evictions": self.evictions,
+            "goodput_core_h": self.goodput_core_s / 3600.0,
+            "credited_core_h": self.credited_core_s / 3600.0,
+            "harvested_core_h": self.harvested_core_s / 3600.0,
+            "wasted_core_h": self.wasted_core_s / 3600.0,
+        }
+
+
+def _check_placement(placement, records, cap, policy_name):
+    """Enforce the placement invariants whatever the policy did.
+
+    Slots per leaf must stay within the Heracles grant and slots per
+    job within its parallelism limit — a buggy policy fails loudly
+    here instead of silently over-crediting.
+    """
+    per_leaf: Dict[int, int] = {}
+    for record, slots in zip(records, placement):
+        total = 0
+        for leaf, cores in slots.items():
+            if cores < 0:
+                raise ValueError(f"policy {policy_name!r} assigned negative "
+                                 f"cores to leaf {leaf}")
+            per_leaf[leaf] = per_leaf.get(leaf, 0) + cores
+            total += cores
+        if total > record.job.max_cores:
+            raise ValueError(
+                f"policy {policy_name!r} gave job {record.job.name!r} "
+                f"{total} slots, over its max_cores="
+                f"{record.job.max_cores}")
+    for leaf, used in per_leaf.items():
+        if used > cap[leaf]:
+            raise ValueError(
+                f"policy {policy_name!r} packed {used} slots onto leaf "
+                f"{leaf}, over its grant of {int(cap[leaf])}")
+
+
+def run_schedule(slack: FleetSlackView, jobs: Sequence[BeJob],
+                 policy: Union[str, Policy] = "slack-greedy",
+                 queue_limit: int = 0) -> ScheduleOutcome:
+    """Schedule a job list over a fleet run's slack view.
+
+    Args:
+        slack: the per-epoch per-leaf slack signals of a fleet run
+            (``ShardedFleetSim.run(..., slack_epoch_s=...)``).
+        jobs: the typed BE jobs to place (unique names).
+        policy: a :data:`~repro.sched.policies.POLICIES` name or a
+            :class:`Policy` instance.
+        queue_limit: admission control — arrivals that would push the
+            number of waiting-or-running jobs past this bound are
+            rejected (0 = unlimited).
+
+    Returns:
+        The populated :class:`ScheduleOutcome`.  Replaying different
+        policies over the *same* slack view is how policies are
+        compared: the fleet is simulated once, the scheduler is pure
+        accounting over its signals.
+    """
+    if queue_limit < 0:
+        raise ValueError("queue_limit must be >= 0 (0 = unlimited)")
+    chosen = make_policy(policy)
+    records = expand_jobs(jobs)
+    epochs = slack.epochs
+    epoch_s = float(slack.epoch_len_s[0]) if epochs else 0.0
+    outcome = ScheduleOutcome(policy=chosen.name, epoch_s=epoch_s,
+                              jobs=records, store=None)
+    outcome.harvested_core_s = float(slack.harvest_core_s.sum())
+    if not records or not epochs:
+        # Nothing to place (or nothing to place on): all harvest that
+        # existed went unmetered.
+        outcome.wasted_core_s = outcome.harvested_core_s
+        return outcome
+
+    store = BatchColumnStore(
+        [("t_s", np.float64), ("assigned_cores", np.float64),
+         ("credit_core_s", np.float64), ("queued_jobs", np.int64),
+         ("running_jobs", np.int64), ("placed_cores", np.int64),
+         ("harvest_core_s", np.float64), ("credited_core_s", np.float64),
+         ("wasted_core_s", np.float64), ("evictions", np.int64)],
+        n=len(records),
+        shared=("t_s", "queued_jobs", "running_jobs", "placed_cores",
+                "harvest_core_s", "credited_core_s", "wasted_core_s",
+                "evictions"))
+    outcome.store = store
+
+    zero = np.zeros(slack.leaves)
+    admitted = 0
+    pending = list(records)  # queue order (expand_jobs sorted them)
+    for e in range(epochs):
+        t = float(slack.epoch_t_s[e])
+        length = float(slack.epoch_len_s[e])
+
+        # -- admission: arrivals whose time has come, in queue order --
+        still_pending = []
+        for record in pending:
+            if record.job.arrival_s <= t:
+                waiting = sum(1 for r in records if r.runnable) \
+                    if queue_limit else 0
+                if queue_limit and waiting >= queue_limit:
+                    record.state = JobState.REJECTED
+                    outcome.rejected += 1
+                else:
+                    record.state = JobState.QUEUED
+                    record.pinned_leaf = admitted % slack.leaves
+                    admitted += 1
+            else:
+                still_pending.append(record)
+        pending = still_pending
+
+        # -- placement: previous epoch's signals, current queue -------
+        runnable = [r for r in records if r.runnable]
+        if e > 0:
+            grant_prev = slack.grant_cores[e - 1]
+            rate_prev = slack.harvest_core_s[e - 1] \
+                / (np.maximum(grant_prev, 1.0)
+                   * float(slack.epoch_len_s[e - 1]))
+            ctx = PlacementContext(
+                epoch=e, epoch_len_s=length, rate_per_core=rate_prev,
+                cap=grant_prev, latched=slack.latched[e - 1],
+                jobs=runnable)
+        else:
+            # No telemetry yet: every policy sees an empty fleet.
+            ctx = PlacementContext(
+                epoch=0, epoch_len_s=length, rate_per_core=zero,
+                cap=zero, latched=zero.astype(bool), jobs=runnable)
+        placement = chosen.place(ctx)
+        if len(placement) != len(runnable):
+            raise ValueError(f"policy {chosen.name!r} returned "
+                             f"{len(placement)} placements for "
+                             f"{len(runnable)} jobs")
+        _check_placement(placement, runnable, ctx.cap, chosen.name)
+        for record, slots in zip(runnable, placement):
+            record.assigned = dict(slots)
+
+        # -- crediting: epoch e's actual harvest over placed slots ----
+        by_leaf: Dict[int, List[JobRecord]] = {}
+        for record in runnable:
+            for leaf, cores in record.assigned.items():
+                if cores > 0:
+                    by_leaf.setdefault(leaf, []).append(record)
+        harvest_e = slack.harvest_core_s[e]
+        latched_e = slack.latched[e]
+        grant_e = slack.grant_cores[e]
+        credit_per_job = {id(r): 0.0 for r in runnable}
+        credited = 0.0
+        evictions = 0
+        for leaf, occupants in sorted(by_leaf.items()):
+            placed = sum(r.assigned[leaf] for r in occupants)
+            if latched_e[leaf]:
+                # The leaf hit its SLO this epoch: Heracles latched,
+                # the epoch's work on it is forfeited, and every
+                # occupant counts an eviction.
+                for record in occupants:
+                    record.evictions += 1
+                evictions += len(occupants)
+                continue
+            unit = float(harvest_e[leaf]) / max(placed, float(grant_e[leaf]),
+                                                1.0)
+            for record in occupants:
+                earn = min(record.assigned[leaf] * unit,
+                           record.remaining_core_s
+                           - credit_per_job[id(record)])
+                earn = max(0.0, earn)
+                credit_per_job[id(record)] += earn
+                credited += earn
+
+        # -- completion + accounting ----------------------------------
+        for record in runnable:
+            record.progress_core_s += credit_per_job[id(record)]
+            if record.remaining_core_s <= _COMPLETION_EPS:
+                record.state = JobState.COMPLETED
+                record.completed_at_s = t + length
+        harvested = float(harvest_e.sum())
+        outcome.credited_core_s += credited
+        outcome.wasted_core_s += harvested - credited
+        outcome.evictions += evictions
+        assigned_row = np.array([sum(r.assigned.values())
+                                 for r in records], dtype=float)
+        credit_row = np.zeros(len(records))
+        for j, record in enumerate(records):
+            credit_row[j] = credit_per_job.get(id(record), 0.0)
+        store.append_tick({
+            "t_s": t,
+            "assigned_cores": assigned_row,
+            "credit_core_s": credit_row,
+            "queued_jobs": sum(1 for r in records if r.runnable),
+            "running_jobs": sum(1 for r in runnable
+                                if sum(r.assigned.values()) > 0),
+            "placed_cores": int(sum(sum(r.assigned.values())
+                                    for r in runnable)),
+            "harvest_core_s": harvested,
+            "credited_core_s": credited,
+            "wasted_core_s": harvested - credited,
+            "evictions": evictions,
+        })
+        for record in runnable:
+            record.assigned = {}
+
+    outcome.goodput_core_s = sum(r.job.demand_core_s for r in records
+                                 if r.state == JobState.COMPLETED)
+    return outcome

@@ -29,6 +29,7 @@ ALL_EXPORT_MODULES = (
     "repro.experiments",
     "repro.scenarios",
     "repro.fleet",
+    "repro.sched",
 )
 
 #: Modules checked member-by-member (every public class/function defined
@@ -49,6 +50,10 @@ DEEP_MODULES = (
     "repro.fleet.shard",
     "repro.fleet.aggregate",
     "repro.fleet.simulator",
+    "repro.sched.jobs",
+    "repro.sched.policies",
+    "repro.sched.scheduler",
+    "repro.sched.report",
 )
 
 

@@ -1,17 +1,23 @@
 #!/usr/bin/env python
-"""Run the perf-gating benchmarks and write the BENCH_PR4.json report.
+"""Run the perf-gating benchmarks and write the BENCH_PR5.json report.
 
-Usage: ``python tools/bench_report.py [--out BENCH_PR4.json]``
+Usage: ``python tools/bench_report.py [--out BENCH_PR5.json]``
 
 Runs the telemetry benchmark (``benchmarks/test_bench_metrics.py`` —
 history-memory and summary-speed gates), the batched-backend benchmark
 (``benchmarks/test_bench_batch.py`` — cluster speedup and equivalence
-gates), and the sharded-fleet benchmark
-(``benchmarks/test_bench_fleet.py`` — cross-plan bit-identity plus the
-parallel wall-clock speedup gate); the benchmarks that emit measurement
-detail as JSON are merged in.  Each suite's wall time and pass/fail
-land in one report so CI can upload the perf trajectory as an artifact
-run over run.
+gates), the sharded-fleet benchmark (``benchmarks/test_bench_fleet.py``
+— cross-plan bit-identity plus the parallel wall-clock speedup gate),
+and the scheduler benchmark (``benchmarks/test_bench_sched.py`` —
+slack-greedy vs static goodput at equal SLO); the benchmarks that emit
+measurement detail as JSON are merged in.  Each suite's wall time and
+pass/fail land in one report so CI can upload the perf trajectory as
+an artifact run over run.
+
+The committed ``BENCH_PR*.json`` snapshots at the repo root are folded
+into the report's ``trajectory`` section; a missing snapshot degrades
+to a warning, never a crash, so the report stays usable on partial
+checkouts.
 
 Exits non-zero if any benchmark gate fails; the report is written
 either way so a failing run still leaves its numbers behind.
@@ -30,17 +36,27 @@ import time
 ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
 
 #: The gating benchmarks whose wall time and verdicts the report records.
-#: name -> (pytest file, extra env).  The fleet benchmark must see
-#: REPRO_JOBS=0 (auto) so its sharded plan actually uses the pool.
+#: name -> (pytest file, extra env).  The fleet and scheduler benchmarks
+#: must see REPRO_JOBS=0 (auto) so their sharded plans actually use the
+#: pool.
 BENCHES = (
     ("metrics", "benchmarks/test_bench_metrics.py", {}),
     ("batch", "benchmarks/test_bench_batch.py", {}),
     ("fleet", "benchmarks/test_bench_fleet.py", {"REPRO_JOBS": "0"}),
+    ("sched", "benchmarks/test_bench_sched.py", {"REPRO_JOBS": "0"}),
 )
 
 #: Benchmarks that write a JSON measurement detail file, keyed by the
 #: environment variable naming the output path.
-DETAIL_ENVS = {"metrics": "REPRO_BENCH_OUT", "fleet": "REPRO_BENCH_FLEET_OUT"}
+DETAIL_ENVS = {
+    "metrics": "REPRO_BENCH_OUT",
+    "fleet": "REPRO_BENCH_FLEET_OUT",
+    "sched": "REPRO_BENCH_SCHED_OUT",
+}
+
+#: Committed perf-trajectory snapshots expected at the repo root, oldest
+#: first.  Absent files are warned about and skipped.
+TRAJECTORY = ("BENCH_PR3.json", "BENCH_PR4.json", "BENCH_PR5.json")
 
 
 def run_bench(path: str, extra_env: dict) -> dict:
@@ -61,14 +77,41 @@ def run_bench(path: str, extra_env: dict) -> dict:
     return {"wall_s": round(wall_s, 2), "passed": proc.returncode == 0}
 
 
+def load_trajectory(root: str = ROOT, exclude: str = "") -> dict:
+    """Collect the committed BENCH_PR*.json snapshots, warning on gaps.
+
+    A snapshot that is missing or unparsable is reported to stderr and
+    skipped — the trajectory is best-effort context, never a reason to
+    fail the report run.  ``exclude`` names the report's own output
+    path, which must not be folded into itself (the default output is
+    ``BENCH_PR5.json``, the same filename as the newest snapshot).
+    """
+    trajectory = {}
+    for name in TRAJECTORY:
+        path = os.path.join(root, name)
+        if exclude and os.path.abspath(path) == os.path.abspath(exclude):
+            continue
+        if not os.path.exists(path):
+            print(f"warning: expected perf snapshot {name} is absent; "
+                  f"skipping it in the trajectory", file=sys.stderr)
+            continue
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                trajectory[name] = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"warning: cannot read perf snapshot {name} ({exc}); "
+                  f"skipping it in the trajectory", file=sys.stderr)
+    return trajectory
+
+
 def main(argv=None) -> int:
     """Entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_PR4.json",
-                        help="report path (default: ./BENCH_PR4.json)")
+    parser.add_argument("--out", default="BENCH_PR5.json",
+                        help="report path (default: ./BENCH_PR5.json)")
     args = parser.parse_args(argv)
 
-    report = {"report": "BENCH_PR4", "benches": {}}
+    report = {"report": "BENCH_PR5", "benches": {}}
     with tempfile.TemporaryDirectory() as tmp:
         for name, path, env in BENCHES:
             extra = dict(env)
@@ -78,10 +121,15 @@ def main(argv=None) -> int:
                 extra[DETAIL_ENVS[name]] = detail_path
             print(f"running {path} ...", flush=True)
             report["benches"][name] = run_bench(path, extra)
-            if detail_path and os.path.exists(detail_path):
+            if detail_path and not os.path.exists(detail_path):
+                print(f"warning: benchmark {name!r} emitted no detail "
+                      f"JSON ({DETAIL_ENVS[name]}); recording verdict "
+                      f"only", file=sys.stderr)
+            elif detail_path:
                 with open(detail_path, "r", encoding="utf-8") as handle:
                     report["benches"][name].update(json.load(handle))
 
+    report["trajectory"] = load_trajectory(exclude=args.out)
     report["tests_passed"] = all(b["passed"]
                                  for b in report["benches"].values())
     with open(args.out, "w", encoding="utf-8") as handle:
