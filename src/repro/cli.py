@@ -127,6 +127,10 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument(
         "--shard-leaves", type=int, default=None, metavar="N",
         help="override the fleet's maximum leaves per shard (>= 1)")
+    fleet.add_argument(
+        "--engine", choices=("sharded", "mega"), default=None,
+        help="override the fleet engine (sharded pool fan-out vs the "
+             "in-process mega array engine; identical telemetry)")
 
     sched = sub.add_parser(
         "sched",
@@ -150,6 +154,10 @@ def build_parser() -> argparse.ArgumentParser:
     sched.add_argument(
         "--shard-leaves", type=int, default=None, metavar="N",
         help="override the fleet's maximum leaves per shard (>= 1)")
+    sched.add_argument(
+        "--engine", choices=("sharded", "mega"), default=None,
+        help="override the fleet engine (sharded pool fan-out vs the "
+             "in-process mega array engine; identical telemetry)")
     sched.add_argument(
         "--policy", choices=SCHED_POLICIES, default=None,
         help="override the scenario's placement policy")
@@ -261,6 +269,10 @@ def _run_fleet_command(args: argparse.Namespace) -> int:
             spec = dataclasses.replace(
                 spec, fleet=dataclasses.replace(
                     spec.fleet, shard_leaves=args.shard_leaves))
+        if args.engine is not None:
+            spec = dataclasses.replace(
+                spec, fleet=dataclasses.replace(spec.fleet,
+                                                engine=args.engine))
         result = compile_scenario(spec).run()
     except ScenarioError as exc:
         raise SystemExit(f"fleet: {exc}") from exc
@@ -294,9 +306,14 @@ def _run_sched_command(args: argparse.Namespace) -> int:
         if args.seed is not None:
             spec = dataclasses.replace(spec, seed=args.seed)
         overrides = {}
+        fleet_overrides = {}
         if args.shard_leaves is not None:
+            fleet_overrides["shard_leaves"] = args.shard_leaves
+        if args.engine is not None:
+            fleet_overrides["engine"] = args.engine
+        if fleet_overrides:
             overrides["fleet"] = dataclasses.replace(
-                spec.schedule.fleet, shard_leaves=args.shard_leaves)
+                spec.schedule.fleet, **fleet_overrides)
         if args.policy is not None:
             overrides["policy"] = args.policy
         if overrides:

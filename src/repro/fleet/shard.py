@@ -254,10 +254,18 @@ def run_shard(task: ShardTask) -> ShardResult:
         emus[k] = result.emu
         if task.collect_be:
             be_norm[k] = result.be_throughput_norm
-            # Read after the controllers' step, so the recorded grant
-            # is what the next tick will actually run with — the same
-            # state a cluster scheduler would poll from Heracles.
-            be_cores[k] = [m.actuators.be_cores for m in batch.members]
+            # The recorded grant is the post-controller-step state —
+            # what the next tick will actually run with, the same state
+            # a cluster scheduler would poll from Heracles.  Tick k+1's
+            # actuator gather *is* that state for tick k, so each row
+            # lands one tick later as a vectorized copy instead of a
+            # per-member property loop on every tick.
+            if k:
+                be_cores[k - 1] = batch._gathered_be_cores
+    if steps and task.collect_be:
+        # The final row has no following tick to gather it; one direct
+        # (single, not per-tick) actuator read closes the shift.
+        be_cores[steps - 1] = batch.be_cores_now()
     if steps:
         summary = {
             "mean_emu": float(emus.mean()),

@@ -203,11 +203,23 @@ class ShardedFleetSim:
             Must be positive — zero or negative shard sizes are
             rejected eagerly.
         record_period_s: cluster record cadence (30 s in the paper).
+        engine: ``"sharded"`` (default) fans the clusters out as shard
+            work units over the process pool; ``"mega"`` runs the whole
+            fleet in-process as one array program
+            (:class:`~repro.sim.megabatch.MegaFleetSim`) — bit-identical
+            telemetry, no per-shard Python tick loops.  Both feed the
+            same roll-up.
     """
+
+    ENGINES = ("sharded", "mega")
 
     def __init__(self, clusters: Sequence[ClusterPlan],
                  shard_leaves: int = DEFAULT_SHARD_LEAVES,
-                 record_period_s: float = 30.0):
+                 record_period_s: float = 30.0,
+                 engine: str = "sharded"):
+        if engine not in self.ENGINES:
+            raise ValueError(f"engine={engine!r}: expected one of "
+                             f"{self.ENGINES}")
         clusters = list(clusters)
         if not clusters:
             raise ValueError("a fleet needs at least one cluster")
@@ -233,6 +245,7 @@ class ShardedFleetSim:
         self.clusters = clusters
         self.shard_leaves = shard_leaves
         self.record_period_s = record_period_s
+        self.engine = engine
 
     def shard_plan(self) -> Dict[str, List[Tuple[int, int]]]:
         """Leaf ranges each cluster will be partitioned into."""
@@ -294,9 +307,19 @@ class ShardedFleetSim:
                 lc_name=plan.lc_name)
             for plan in self.clusters
         }
-        tasks = self._tasks(duration_s, dt_s, targets,
-                            collect_be=slack_epoch_s is not None)
-        results = run_sweep(run_shard, tasks, processes=processes)
+        collect_be = slack_epoch_s is not None
+        if self.engine == "mega":
+            # One in-process array program for the whole fleet; the
+            # shard fan-out (and its pool) is bypassed entirely.  Each
+            # cluster comes back as a single whole-population
+            # ShardResult, so the roll-up below is shared verbatim.
+            from ..sim.megabatch import run_mega_fleet
+            results = run_mega_fleet(self.clusters, targets, duration_s,
+                                     dt_s=dt_s, collect_be=collect_be)
+        else:
+            tasks = self._tasks(duration_s, dt_s, targets,
+                                collect_be=collect_be)
+            results = run_sweep(run_shard, tasks, processes=processes)
 
         by_cluster: Dict[str, List[ShardResult]] = {}
         for result in results:

@@ -16,7 +16,8 @@ order), so refactoring a history onto this module is bit-identical.
 
 The :class:`WindowedMetrics` helper binds the functions to one
 column-oriented history and memoizes each summary result against the
-history length at computation time: repeated queries over a finished
+history length and last timestamp at computation time: repeated
+queries over a finished
 (no longer growing) run are answered from the cache, while any append
 invalidates and the next query recomputes from the columns.
 """
@@ -35,7 +36,13 @@ def sample_mean(values: Sequence[float]) -> float:
     2-second subcontroller view) are tiny suffixes of a deque; they use
     this one helper so the estimate's float semantics (left-to-right
     Python summation) are defined in exactly one place.
+
+    An empty sequence reports the metric layer's nothing-recorded value
+    (0.0, like :func:`mean_after` and friends) instead of raising a
+    bare ``ZeroDivisionError`` at the call site.
     """
+    if not len(values):
+        return 0.0
     return sum(values) / len(values)
 
 
@@ -124,9 +131,10 @@ class WindowedMetrics:
     Every method filters by explicit timestamps (never an assumed
     uniform tick) and delegates to the module-level functions, so all
     histories report through one implementation.  Summary results are
-    memoized against the history length: after a run finishes, each
-    (metric, column, skip) query is computed once and served from the
-    cache thereafter; an append invalidates, and the next query
+    memoized against the history length and last timestamp: after a
+    run finishes, each (metric, column, skip) query is computed once
+    and served from the cache thereafter; an append (or a same-length
+    history with a different clock) invalidates, and the next query
     recomputes from the columns (one O(T) vectorized pass).
     """
 
@@ -137,13 +145,22 @@ class WindowedMetrics:
         self._cache: Dict[Tuple, Tuple[int, object]] = {}
 
     def _memo(self, key: Tuple, build: Callable[[], object]):
-        """Value of ``build()`` memoized until the history grows."""
-        length = len(self._times())
+        """Value of ``build()`` memoized until the history changes.
+
+        The staleness check covers both the history *length* and its
+        last timestamp: a same-length history with different contents
+        (a reset-and-refilled store, a restored snapshot) restarts its
+        clock, so keying on length alone would serve stale aggregates.
+        """
+        times = self._times()
+        length = len(times)
+        last_t = float(times[-1]) if length else None
+        stamp = (length, last_t)
         hit = self._cache.get(key)
-        if hit is not None and hit[0] == length:
+        if hit is not None and hit[0] == stamp:
             return hit[1]
         value = build()
-        self._cache[key] = (length, value)
+        self._cache[key] = (stamp, value)
         return value
 
     def dt_s(self, default: float = 1.0) -> float:

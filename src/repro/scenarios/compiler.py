@@ -436,7 +436,8 @@ class CompiledScenario:
         ]
         return ShardedFleetSim(
             plans, shard_leaves=fleet_spec.shard_leaves,
-            record_period_s=fleet_spec.record_period_s)
+            record_period_s=fleet_spec.record_period_s,
+            engine=fleet_spec.engine)
 
     def _run_fleet(self, processes: Optional[int]) -> ScenarioResult:
         spec = self.spec

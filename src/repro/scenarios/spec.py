@@ -637,13 +637,20 @@ class FleetSpec:
             positive — zero or negative shard sizes are rejected at
             load time.
         record_period_s: cluster record cadence in simulated seconds.
+        engine: fleet execution engine — ``"sharded"`` (default) fans
+            shards over the process pool, ``"mega"`` runs the whole
+            fleet as one in-process array program.  Bit-identical
+            telemetry either way; distinct from the per-shard
+            ``ShardSpec.engine`` knob, which picks the batch-vs-scalar
+            leaf backend inside one shard.
     """
 
     clusters: Tuple[ShardSpec, ...]
     shard_leaves: int = 64
     record_period_s: float = 30.0
+    engine: str = "sharded"
 
-    _FIELDS = ("clusters", "shard_leaves", "record_period_s")
+    _FIELDS = ("clusters", "shard_leaves", "record_period_s", "engine")
 
     @classmethod
     def from_dict(cls, data: Any, ctx: str = "fleet") -> "FleetSpec":
@@ -669,12 +676,18 @@ class FleetSpec:
         if "record_period_s" in data:
             kwargs["record_period_s"] = _number(data["record_period_s"],
                                                 f"{ctx}.record_period_s")
+        if "engine" in data:
+            kwargs["engine"] = data["engine"]
         spec = cls(**kwargs)
         spec.validate(ctx)
         return spec
 
     def validate(self, ctx: str = "fleet") -> None:
         """Check the cluster list, shard size, and record cadence."""
+        if self.engine not in ("sharded", "mega"):
+            raise ScenarioError(
+                f"{ctx}.engine: unknown fleet engine {self.engine!r}; "
+                f"choose 'sharded' or 'mega'")
         if not self.clusters:
             raise ScenarioError(f"{ctx}.clusters: a fleet needs at least "
                                 f"one cluster")

@@ -1,0 +1,81 @@
+"""Regression tests for the perf-report tool (``tools/bench_report.py``).
+
+Pinned here: the perf trajectory is *discovered* from the committed
+``BENCH_PR<N>.json`` snapshots, ordered by PR number.  The tool used to
+carry a hardcoded filename tuple, which silently dropped every snapshot
+newer than the tuple — BENCH_PR6 and onward would simply never appear
+in any report's trajectory.
+"""
+
+import json
+import os
+import sys
+
+ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+sys.path.insert(0, os.path.join(ROOT, "tools"))
+
+import bench_report  # noqa: E402
+
+
+class TestTrajectorySnapshots:
+    def test_sorted_by_pr_number_not_lexically(self, tmp_path):
+        """PR 10 sorts after PR 9 (numeric, not string, order)."""
+        for name in ("BENCH_PR10.json", "BENCH_PR9.json",
+                     "BENCH_PR3.json"):
+            (tmp_path / name).write_text("{}\n")
+        assert bench_report.trajectory_snapshots(str(tmp_path)) == [
+            "BENCH_PR3.json", "BENCH_PR9.json", "BENCH_PR10.json"]
+
+    def test_future_snapshots_are_discovered(self, tmp_path):
+        """The hardcoded-tuple regression: new snapshots must join."""
+        for pr in (3, 4, 5, 6, 7, 123):
+            (tmp_path / f"BENCH_PR{pr}.json").write_text("{}\n")
+        names = bench_report.trajectory_snapshots(str(tmp_path))
+        assert names == [f"BENCH_PR{pr}.json"
+                         for pr in (3, 4, 5, 6, 7, 123)]
+
+    def test_non_snapshot_names_are_ignored(self, tmp_path):
+        (tmp_path / "BENCH_PR4.json").write_text("{}\n")
+        for name in ("BENCH_PRx.json", "BENCH_PR5_old.json",
+                     "BENCH_PR.json", "bench_pr4.json"):
+            (tmp_path / name).write_text("{}\n")
+        assert bench_report.trajectory_snapshots(str(tmp_path)) == [
+            "BENCH_PR4.json"]
+
+    def test_empty_root_yields_empty_trajectory(self, tmp_path):
+        assert bench_report.trajectory_snapshots(str(tmp_path)) == []
+
+    def test_repo_snapshots_all_present(self):
+        """Every committed snapshot is picked up from the repo root."""
+        committed = sorted(
+            name for name in os.listdir(ROOT)
+            if name.startswith("BENCH_PR") and name.endswith(".json"))
+        names = bench_report.trajectory_snapshots()
+        for name in committed:
+            assert name in names or not name[8:-5].isdigit()
+
+
+class TestLoadTrajectory:
+    def _write(self, path, payload):
+        path.write_text(json.dumps(payload) + "\n")
+
+    def test_loads_all_snapshots(self, tmp_path):
+        self._write(tmp_path / "BENCH_PR3.json", {"report": "BENCH_PR3"})
+        self._write(tmp_path / "BENCH_PR6.json", {"report": "BENCH_PR6"})
+        trajectory = bench_report.load_trajectory(str(tmp_path))
+        assert set(trajectory) == {"BENCH_PR3.json", "BENCH_PR6.json"}
+        assert trajectory["BENCH_PR6.json"] == {"report": "BENCH_PR6"}
+
+    def test_excludes_own_output(self, tmp_path):
+        self._write(tmp_path / "BENCH_PR5.json", {})
+        self._write(tmp_path / "BENCH_PR6.json", {})
+        trajectory = bench_report.load_trajectory(
+            str(tmp_path), exclude=str(tmp_path / "BENCH_PR6.json"))
+        assert set(trajectory) == {"BENCH_PR5.json"}
+
+    def test_unparsable_snapshot_warns_and_skips(self, tmp_path, capsys):
+        self._write(tmp_path / "BENCH_PR3.json", {"ok": True})
+        (tmp_path / "BENCH_PR4.json").write_text("{not json")
+        trajectory = bench_report.load_trajectory(str(tmp_path))
+        assert set(trajectory) == {"BENCH_PR3.json"}
+        assert "BENCH_PR4.json" in capsys.readouterr().err

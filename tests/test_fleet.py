@@ -100,13 +100,15 @@ def scalar_cluster():
     return cluster
 
 
-def run_fleet_once(shard_leaves, processes=1):
-    """One sharded-fleet run of the differential cluster."""
+def run_fleet_once(shard_leaves, processes=1, engine="sharded",
+                   slack_epoch_s=None):
+    """One fleet run of the differential cluster (any engine)."""
     fleet = ShardedFleetSim(
         [ClusterPlan(name="diff", leaves=LEAVES, trace=reference_trace(),
                      seed=SEED)],
-        shard_leaves=shard_leaves)
-    return fleet.run(DURATION, processes=processes)
+        shard_leaves=shard_leaves, engine=engine)
+    return fleet.run(DURATION, processes=processes,
+                     slack_epoch_s=slack_epoch_s)
 
 
 class TestFleetDifferential:
@@ -161,6 +163,86 @@ class TestFleetDifferential:
         assert root_slo_full > root_slo_small
         result = run_fleet_once(shard_leaves=3)
         assert result.cluster("diff").root_slo_ms == root_slo_full
+
+
+class TestMegaEngineDifferential:
+    """The mega engine joins the bit-identity triangle: one fleet-wide
+    array program must reproduce the batch cluster (and hence the
+    scalar reference and every sharded plan) number for number."""
+
+    @pytest.fixture(scope="class")
+    def mega_result(self):
+        return run_fleet_once(shard_leaves=LEAVES, engine="mega")
+
+    def test_mega_matches_batch_bitwise(self, mega_result, batch_cluster):
+        outcome = mega_result.cluster("diff")
+        assert outcome.root_slo_ms == batch_cluster.root_slo_ms
+        assert outcome.leaf_slo_ms == batch_cluster.leaf_slo_ms
+        assert_cluster_histories_identical(
+            outcome.history, batch_cluster.history, "mega vs batch")
+
+    def test_mega_matches_scalar_bitwise(self, mega_result,
+                                         scalar_cluster):
+        assert_cluster_histories_identical(
+            mega_result.cluster("diff").history, scalar_cluster.history,
+            "mega vs scalar")
+
+    def test_mega_is_one_whole_cluster_shard(self, mega_result):
+        """The mega engine reports each cluster as a single
+        whole-population shard so the roll-up stays shared."""
+        shards = mega_result.cluster("diff").shards
+        assert len(shards) == 1
+        assert (shards[0].leaf_lo, shards[0].leaf_hi) == (0, LEAVES)
+
+    @pytest.mark.parametrize("jobs", ["1", "4"])
+    @pytest.mark.parametrize("shard_leaves", [8, 3, 1])
+    def test_mega_summary_matches_sharded(self, mega_result, monkeypatch,
+                                          shard_leaves, jobs):
+        """Summaries are engine- and shard-plan-invariant, whatever
+        the worker pool shape."""
+        monkeypatch.setenv(JOBS_ENV, jobs)
+        sharded = run_fleet_once(shard_leaves, processes=None)
+        assert mega_result.summary(skip_s=60.0) \
+            == sharded.summary(skip_s=60.0)
+
+    def test_mega_slack_view_matches_sharded(self):
+        """The scheduler's slack signals survive the engine swap."""
+        mega = run_fleet_once(LEAVES, engine="mega", slack_epoch_s=30.0)
+        sharded = run_fleet_once(3, slack_epoch_s=30.0)
+        a, b = mega.slack, sharded.slack
+        assert a is not None and b is not None
+        assert np.array_equal(a.epoch_t_s, b.epoch_t_s)
+        for name in ("harvest_core_s", "grant_cores", "latched"):
+            assert np.array_equal(getattr(a, name), getattr(b, name)), (
+                f"slack signal {name!r} diverged between engines")
+
+    def test_mega_heterogeneous_matches_sharded(self):
+        """Mixed specs / LCs / unmanaged clusters in one array program."""
+        def plans():
+            return [
+                ClusterPlan(name="web", leaves=4,
+                            trace=reference_trace(), seed=1),
+                ClusterPlan(name="kv", leaves=3, lc_name="memkeyval",
+                            be_mix=("iperf",),
+                            trace=PhasedTrace(reference_trace(), 600.0),
+                            managed=False, seed=2),
+            ]
+        sharded = ShardedFleetSim(plans(), shard_leaves=2) \
+            .run(120.0, processes=1)
+        mega = ShardedFleetSim(plans(), engine="mega").run(120.0)
+        for name in ("web", "kv"):
+            assert_cluster_histories_identical(
+                mega.cluster(name).history, sharded.cluster(name).history,
+                f"mega vs sharded [{name}]")
+        for name in ("fleet_emu", "weighted_root_latency_ms"):
+            assert np.array_equal(mega.telemetry.fleet_column(name),
+                                  sharded.telemetry.fleet_column(name))
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="engine='bogus'"):
+            ShardedFleetSim(
+                [ClusterPlan(name="c", leaves=4, trace=ConstantLoad(0.5))],
+                engine="bogus")
 
 
 class TestRunShard:
@@ -360,6 +442,24 @@ class TestFleetSpecSchema:
         bad = self._fleet_dict()
         bad["fleet"]["shard_leaves"] = 0
         with pytest.raises(ScenarioError, match="zero or negative"):
+            load_scenario(bad)
+
+    def test_fleet_engine_field(self):
+        """`fleet.engine` selects the execution engine (default
+        sharded); unknown engines fail at load time, and the top-level
+        per-cluster `engine` stays rejected for fleet shapes."""
+        spec = load_scenario(self._fleet_dict())
+        assert spec.fleet.engine == "sharded"
+        mega = self._fleet_dict()
+        mega["fleet"]["engine"] = "mega"
+        spec = load_scenario(mega)
+        assert spec.fleet.engine == "mega"
+        compiled = compile_scenario(spec)
+        assert compiled.kind == "fleet"
+        assert compiled._build_fleet(spec.fleet).engine == "mega"
+        bad = self._fleet_dict()
+        bad["fleet"]["engine"] = "bogus"
+        with pytest.raises(ScenarioError, match="unknown fleet engine"):
             load_scenario(bad)
 
     def test_rejects_unknown_fields_and_names(self):

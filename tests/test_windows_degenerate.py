@@ -1,0 +1,171 @@
+"""Degenerate-input behavior of the windowed metric layer.
+
+Three bugfix regressions pinned in one place:
+
+* ``sample_mean`` on an empty sequence reports the metric layer's
+  nothing-recorded value (0.0) instead of raising a bare
+  ``ZeroDivisionError`` — it is the public helper behind every monitor
+  window estimate.
+* ``WindowedMetrics`` memoization keys on the history's last timestamp
+  as well as its length, so an equal-length history with different
+  contents (a reset-and-refilled store, a restored snapshot) cannot be
+  served stale aggregates.
+* The reporting aggregates (``derive_dt_s`` / ``worst_window_mean`` /
+  ``mean_after``) stay well-defined on single-sample and empty series,
+  and with ``skip_s`` past the end of the run — checked on the scalar,
+  batch, and fleet history stacks, not just on raw arrays.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fleet.simulator import ClusterPlan, ShardedFleetSim
+from repro.metrics import (WindowedMetrics, derive_dt_s, mean_after,
+                           sample_mean, worst_window_mean)
+from repro.sim import ColocationSim
+from repro.workloads.traces import ConstantLoad, websearch_cluster_trace
+from repro.workloads.latency_critical import make_lc_workload
+
+
+class TestSampleMeanEmpty:
+    def test_empty_list_is_zero(self):
+        assert sample_mean([]) == 0.0
+
+    def test_empty_tuple_is_zero(self):
+        assert sample_mean(()) == 0.0
+
+    def test_empty_array_is_zero(self):
+        assert sample_mean(np.array([])) == 0.0
+
+    def test_nonempty_unchanged(self):
+        assert sample_mean([1.0, 2.0, 4.0]) == (1.0 + 2.0 + 4.0) / 3
+
+
+class TestRawDegenerateSeries:
+    def test_derive_dt_single_sample_falls_back(self):
+        assert derive_dt_s(np.array([5.0])) == 1.0
+        assert derive_dt_s(np.array([5.0]), default=0.25) == 0.25
+
+    def test_derive_dt_empty_falls_back(self):
+        assert derive_dt_s(np.array([])) == 1.0
+
+    def test_derive_dt_zero_span_falls_back(self):
+        assert derive_dt_s(np.array([3.0, 3.0])) == 1.0
+
+    def test_worst_window_single_sample_is_that_sample(self):
+        assert worst_window_mean(np.array([7.5]), np.array([0.0])) == 7.5
+
+    def test_worst_window_empty_is_zero(self):
+        assert worst_window_mean(np.array([]), np.array([])) == 0.0
+
+    def test_mean_after_skip_past_end_is_zero(self):
+        t = np.arange(5.0)
+        assert mean_after(np.ones(5), t, skip_s=10.0) == 0.0
+        assert worst_window_mean(np.ones(5), t, skip_s=10.0) == 0.0
+
+
+class TestMemoStaleness:
+    def test_equal_length_different_contents_not_stale(self):
+        """Reset-and-refill with the same length must recompute."""
+        state = {"t": np.array([0.0, 1.0, 2.0]),
+                 "x": np.array([1.0, 1.0, 1.0])}
+        metrics = WindowedMetrics(lambda name: state["x"],
+                                  lambda: state["t"])
+        assert metrics.mean("x") == 1.0
+        # Same length, new clock + new contents (restored snapshot).
+        state["t"] = np.array([10.0, 11.0, 12.0])
+        state["x"] = np.array([3.0, 3.0, 3.0])
+        assert metrics.mean("x") == 3.0
+        assert metrics.maximum("x") == 3.0
+        assert metrics.worst_window("x", window_s=2.0) == 3.0
+
+    def test_growth_still_invalidates(self):
+        state = {"t": np.array([0.0, 1.0]), "x": np.array([2.0, 2.0])}
+        metrics = WindowedMetrics(lambda name: state["x"],
+                                  lambda: state["t"])
+        assert metrics.mean("x") == 2.0
+        state["t"] = np.array([0.0, 1.0, 2.0])
+        state["x"] = np.array([2.0, 2.0, 8.0])
+        assert metrics.mean("x") == 4.0
+
+    def test_unchanged_history_is_served_from_cache(self):
+        calls = {"n": 0}
+        t = np.array([0.0, 1.0])
+
+        def column(name):
+            calls["n"] += 1
+            return np.array([1.0, 3.0])
+
+        metrics = WindowedMetrics(column, lambda: t)
+        assert metrics.mean("x") == 2.0
+        assert metrics.mean("x") == 2.0
+        assert calls["n"] == 1
+
+    def test_empty_history_memoizes_safely(self):
+        state = {"t": np.array([]), "x": np.array([])}
+        metrics = WindowedMetrics(lambda name: state["x"],
+                                  lambda: state["t"])
+        assert metrics.mean("x") == 0.0
+        state["t"] = np.array([0.0])
+        state["x"] = np.array([5.0])
+        assert metrics.mean("x") == 5.0
+
+
+def _scalar_history(ticks):
+    lc = make_lc_workload("websearch")
+    sim = ColocationSim(lc=lc, trace=ConstantLoad(0.5))
+    for _ in range(ticks):
+        sim.tick(1.0)
+    return sim.history
+
+
+class TestHistoryDegenerates:
+    """skip_s past the end + single-record runs on every history stack."""
+
+    def test_scalar_history(self):
+        history = _scalar_history(3)
+        past = history.times()[-1] + 100.0
+        assert history.metrics.mean("tail_latency_ms", skip_s=past) == 0.0
+        assert history.metrics.maximum("tail_latency_ms",
+                                       skip_s=past) == 0.0
+        assert history.metrics.worst_window("tail_latency_ms",
+                                            skip_s=past) == 0.0
+
+    def test_scalar_single_record(self):
+        history = _scalar_history(1)
+        assert len(history) == 1
+        assert history.metrics.dt_s(default=2.5) == 2.5  # derive falls back
+        tail = float(history.column("tail_latency_ms")[0])
+        assert history.metrics.worst_window("tail_latency_ms") == tail
+        assert history.metrics.mean("tail_latency_ms") == tail
+
+    def test_batch_member_history(self):
+        from repro.sim.batch import BatchColocationSim
+        lc = make_lc_workload("websearch")
+        batch = BatchColocationSim(lc=lc, trace=ConstantLoad(0.5), n=2)
+        batch.tick(1.0)
+        history = batch.members[0].history
+        assert history.metrics.worst_window("tail_latency_ms",
+                                            skip_s=50.0) == 0.0
+        tail = float(history.column("tail_latency_ms")[0])
+        assert history.metrics.worst_window("tail_latency_ms") == tail
+
+    @pytest.fixture(scope="class")
+    def fleet_history(self):
+        fleet = ShardedFleetSim(
+            [ClusterPlan(name="web", leaves=2,
+                         trace=websearch_cluster_trace(seed=3), seed=1)],
+            shard_leaves=2, record_period_s=30.0)
+        result = fleet.run(60.0, processes=1)
+        return result.clusters[0].history
+
+    def test_fleet_history_skip_past_end(self, fleet_history):
+        past = fleet_history.times()[-1] + 1.0
+        assert fleet_history.mean_emu(skip_s=past) == 0.0
+        assert fleet_history.max_root_slo_fraction(skip_s=past) == 0.0
+        assert fleet_history.metrics.worst_window(
+            "root_slo_fraction", skip_s=past) == 0.0
+
+    def test_fleet_history_well_defined(self, fleet_history):
+        assert len(fleet_history) >= 1
+        assert fleet_history.mean_emu() > 0.0

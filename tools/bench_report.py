@@ -1,21 +1,24 @@
 #!/usr/bin/env python
-"""Run the perf-gating benchmarks and write the BENCH_PR5.json report.
+"""Run the perf-gating benchmarks and write the BENCH_PR6.json report.
 
-Usage: ``python tools/bench_report.py [--out BENCH_PR5.json]``
+Usage: ``python tools/bench_report.py [--out BENCH_PR6.json]``
 
 Runs the telemetry benchmark (``benchmarks/test_bench_metrics.py`` —
 history-memory and summary-speed gates), the batched-backend benchmark
 (``benchmarks/test_bench_batch.py`` — cluster speedup and equivalence
 gates), the sharded-fleet benchmark (``benchmarks/test_bench_fleet.py``
 — cross-plan bit-identity plus the parallel wall-clock speedup gate),
-and the scheduler benchmark (``benchmarks/test_bench_sched.py`` —
-slack-greedy vs static goodput at equal SLO); the benchmarks that emit
-measurement detail as JSON are merged in.  Each suite's wall time and
-pass/fail land in one report so CI can upload the perf trajectory as
-an artifact run over run.
+the scheduler benchmark (``benchmarks/test_bench_sched.py`` —
+slack-greedy vs static goodput at equal SLO), and the mega-fleet
+benchmark (``benchmarks/test_bench_megafleet.py`` — mega-engine
+bit-identity to the sharded reference plus the sequential-path speedup
+gate); the benchmarks that emit measurement detail as JSON are merged
+in.  Each suite's wall time and pass/fail land in one report so CI can
+upload the perf trajectory as an artifact run over run.
 
 The committed ``BENCH_PR*.json`` snapshots at the repo root are folded
-into the report's ``trajectory`` section; a missing snapshot degrades
+into the report's ``trajectory`` section — discovered by glob, so every
+future snapshot joins automatically; an unparsable snapshot degrades
 to a warning, never a crash, so the report stays usable on partial
 checkouts.
 
@@ -26,8 +29,10 @@ either way so a failing run still leaves its numbers behind.
 from __future__ import annotations
 
 import argparse
+import glob
 import json
 import os
+import re
 import subprocess
 import sys
 import tempfile
@@ -44,6 +49,8 @@ BENCHES = (
     ("batch", "benchmarks/test_bench_batch.py", {}),
     ("fleet", "benchmarks/test_bench_fleet.py", {"REPRO_JOBS": "0"}),
     ("sched", "benchmarks/test_bench_sched.py", {"REPRO_JOBS": "0"}),
+    ("megafleet", "benchmarks/test_bench_megafleet.py",
+     {"REPRO_JOBS": "1"}),
 )
 
 #: Benchmarks that write a JSON measurement detail file, keyed by the
@@ -52,11 +59,26 @@ DETAIL_ENVS = {
     "metrics": "REPRO_BENCH_OUT",
     "fleet": "REPRO_BENCH_FLEET_OUT",
     "sched": "REPRO_BENCH_SCHED_OUT",
+    "megafleet": "REPRO_BENCH_MEGAFLEET_OUT",
 }
 
-#: Committed perf-trajectory snapshots expected at the repo root, oldest
-#: first.  Absent files are warned about and skipped.
-TRAJECTORY = ("BENCH_PR3.json", "BENCH_PR4.json", "BENCH_PR5.json")
+
+def trajectory_snapshots(root: str = ROOT) -> list:
+    """Committed ``BENCH_PR<N>.json`` snapshots at ``root``, oldest first.
+
+    Discovered by glob and ordered by PR number, so a new snapshot
+    joins the trajectory the moment it is committed — the fixed tuple
+    this replaces silently dropped every snapshot newer than itself.
+    Files whose suffix is not a plain integer (``BENCH_PRx.json``,
+    ``BENCH_PR5_old.json``) are not snapshots and are ignored.
+    """
+    pattern = re.compile(r"^BENCH_PR(\d+)\.json$")
+    found = []
+    for path in glob.glob(os.path.join(root, "BENCH_PR*.json")):
+        match = pattern.match(os.path.basename(path))
+        if match:
+            found.append((int(match.group(1)), os.path.basename(path)))
+    return [name for _, name in sorted(found)]
 
 
 def run_bench(path: str, extra_env: dict) -> dict:
@@ -80,20 +102,16 @@ def run_bench(path: str, extra_env: dict) -> dict:
 def load_trajectory(root: str = ROOT, exclude: str = "") -> dict:
     """Collect the committed BENCH_PR*.json snapshots, warning on gaps.
 
-    A snapshot that is missing or unparsable is reported to stderr and
-    skipped — the trajectory is best-effort context, never a reason to
-    fail the report run.  ``exclude`` names the report's own output
-    path, which must not be folded into itself (the default output is
-    ``BENCH_PR5.json``, the same filename as the newest snapshot).
+    A snapshot that is unparsable is reported to stderr and skipped —
+    the trajectory is best-effort context, never a reason to fail the
+    report run.  ``exclude`` names the report's own output path, which
+    must not be folded into itself (the default output is
+    ``BENCH_PR6.json``, the same filename as the newest snapshot).
     """
     trajectory = {}
-    for name in TRAJECTORY:
+    for name in trajectory_snapshots(root):
         path = os.path.join(root, name)
         if exclude and os.path.abspath(path) == os.path.abspath(exclude):
-            continue
-        if not os.path.exists(path):
-            print(f"warning: expected perf snapshot {name} is absent; "
-                  f"skipping it in the trajectory", file=sys.stderr)
             continue
         try:
             with open(path, "r", encoding="utf-8") as handle:
@@ -107,11 +125,11 @@ def load_trajectory(root: str = ROOT, exclude: str = "") -> dict:
 def main(argv=None) -> int:
     """Entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_PR5.json",
-                        help="report path (default: ./BENCH_PR5.json)")
+    parser.add_argument("--out", default="BENCH_PR6.json",
+                        help="report path (default: ./BENCH_PR6.json)")
     args = parser.parse_args(argv)
 
-    report = {"report": "BENCH_PR5", "benches": {}}
+    report = {"report": "BENCH_PR6", "benches": {}}
     with tempfile.TemporaryDirectory() as tmp:
         for name, path, env in BENCHES:
             extra = dict(env)
