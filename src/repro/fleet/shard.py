@@ -125,6 +125,10 @@ class ShardTask:
             (normalized BE throughput and Heracles-granted BE cores)
             each tick — the slack signals the fleet scheduler consumes.
             Off by default: plain fleet runs pay nothing for the hook.
+        events: chaos schedule for this shard
+            (:class:`~repro.sim.chaos.ChaosEvent` tuples), with member
+            targets already rebased to shard-local indices by the
+            fleet's task builder.
     """
 
     cluster: str
@@ -143,6 +147,7 @@ class ShardTask:
     duration_s: float
     dt_s: float
     collect_be: bool = False
+    events: Tuple = ()
 
     @property
     def leaves(self) -> int:
@@ -230,6 +235,8 @@ def run_shard(task: ShardTask) -> ShardResult:
         seeds=[task.seed * 1000 + i
                for i in range(task.leaf_lo, task.leaf_hi)],
         record_history=False)
+    if task.events:
+        batch.set_chaos_events(task.events)
     if task.managed:
         # One offline model per (LC, machine) pair per worker process;
         # profiling is deterministic, so every process derives the same

@@ -75,6 +75,11 @@ class ClusterPlan:
         managed: run Heracles on every leaf (``False`` = baseline
             cluster, BE disabled).
         seed: cluster base seed; leaf ``i`` uses ``seed * 1000 + i``.
+        events: chaos schedule for this cluster
+            (:class:`~repro.sim.chaos.ChaosEvent` tuples with
+            cluster-local leaf targets, or ``members=None`` for every
+            leaf).  Resolved identically by the sharded and mega
+            engines — see :mod:`repro.sim.chaos` for the semantics.
     """
 
     name: str
@@ -85,6 +90,7 @@ class ClusterPlan:
     spec: Optional[MachineSpec] = None
     managed: bool = True
     seed: int = 0
+    events: Tuple = ()
 
     def validate(self) -> None:
         """Check leaf count, workload names, and the BE mix."""
@@ -106,6 +112,13 @@ class ClusterPlan:
                 raise ValueError(
                     f"cluster {self.name!r}: unknown BE workload {be!r}; "
                     f"choose from {', '.join(sorted(BE_PROFILES))}")
+        for event in self.events:
+            event.validate()
+            for leaf in event.members or ():
+                if not 0 <= leaf < self.leaves:
+                    raise ValueError(
+                        f"cluster {self.name!r}: chaos event targets "
+                        f"leaf {leaf} of {self.leaves}")
 
 
 @dataclass
@@ -262,6 +275,20 @@ class ShardedFleetSim:
             spec = plan.spec or default_machine_spec()
             for shard_index, (lo, hi) in enumerate(
                     partition_leaves(plan.leaves, self.shard_leaves)):
+                # Chaos targets arrive as cluster-local leaf indices;
+                # each shard keeps the intersection with its own leaf
+                # range, rebased to shard-local indices (an event whose
+                # targets all land elsewhere is dropped, and a
+                # whole-cluster event stays whole-shard).
+                events = []
+                for event in plan.events:
+                    if event.members is None:
+                        events.append(event)
+                        continue
+                    local = tuple(m - lo for m in event.members
+                                  if lo <= m < hi)
+                    if local:
+                        events.append(event.retarget(local))
                 tasks.append(ShardTask(
                     cluster=plan.name, cluster_index=index,
                     shard_index=shard_index, leaf_lo=lo, leaf_hi=hi,
@@ -269,7 +296,7 @@ class ShardedFleetSim:
                     be_mix=tuple(plan.be_mix), leaf_slo_ms=leaf_slo_ms,
                     spec=spec, trace=plan.trace, managed=plan.managed,
                     seed=plan.seed, duration_s=duration_s, dt_s=dt_s,
-                    collect_be=collect_be))
+                    collect_be=collect_be, events=tuple(events)))
         return tasks
 
     def run(self, duration_s: float, dt_s: float = 1.0,

@@ -45,11 +45,20 @@ from ..fleet import ClusterPlan, FleetResult, ShardedFleetSim
 from ..sched import ScheduleOutcome, run_schedule, tco_summary
 from ..sim.actuators import Actuators
 from ..sim.batch import BatchColocationSim
+from ..sim.chaos import ChaosEvent
 from ..sim.engine import ColocationSim, Controller, SimHistory
 from ..sim.runner import memoized_dram_model, run_sweep
 from ..workloads.best_effort import make_be_workload
 from ..workloads.latency_critical import make_lc_workload
 from .spec import InjectionSpec, ScenarioError, ScenarioSpec
+
+
+def _chaos_event(injection: InjectionSpec) -> ChaosEvent:
+    """Lower one injection to the engines' shared event type."""
+    return ChaosEvent(
+        at_s=injection.at_s, action=injection.action,
+        value=injection.value,
+        members=None if injection.leaf is None else (injection.leaf,))
 
 
 class InjectionSchedule:
@@ -314,7 +323,11 @@ class CompiledScenario:
                 spec=self.machine,
                 seed=spec.member_seed(0))
             self._attach(sim, member.lc, member.be,
-                         spec.member_controller(0))
+                         spec.member_controller(0), index=0)
+            chaos = [_chaos_event(inj) for inj in spec.injections
+                     if inj.is_chaos]
+            if chaos:
+                sim.set_chaos_events(chaos)
             return sim
         if self.kind == "batch":
             lcs = [make_lc_workload(m.lc, self.machine)
@@ -330,14 +343,18 @@ class CompiledScenario:
                 seeds=seeds, n=len(spec.members), record_history=True)
             for i, member in enumerate(spec.members):
                 self._attach(batch.members[i], member.lc, member.be,
-                             spec.member_controller(i))
+                             spec.member_controller(i), index=i)
+            chaos = [_chaos_event(inj) for inj in spec.injections
+                     if inj.is_chaos]
+            if chaos:
+                batch.set_chaos_events(chaos)
             return batch
         raise ScenarioError(
             f"scenario {spec.name!r} is a {self.kind} scenario; it lowers "
             f"to a runner grid — call run() instead of build()")
 
     def _attach(self, sim, lc_name: str, be_name: Optional[str],
-                controller: str) -> None:
+                controller: str, index: int = 0) -> None:
         """Attach the member's controller and injection schedule."""
         if controller == "heracles" and be_name is not None:
             model = memoized_dram_model(lc_name, self.machine)
@@ -345,10 +362,16 @@ class CompiledScenario:
         elif controller in SCENARIO_BASELINES:
             baseline_for_sim(controller, sim)
         # "none" (and "heracles" without a BE to manage): no controller.
-        if self.spec.injections:
+        # Legacy actuator injections keep their end-of-tick controller
+        # wrapper (timing preserved for existing scenarios), filtered by
+        # the optional leaf target; chaos actions lower to engine-level
+        # events (start-of-tick, see repro.sim.chaos) in build().
+        legacy = [inj for inj in self.spec.injections
+                  if not inj.is_chaos
+                  and (inj.leaf is None or inj.leaf == index)]
+        if legacy:
             sim.attach_controller(InjectionSchedule(
-                sim.actuators, list(self.spec.injections),
-                inner=sim.controller))
+                sim.actuators, legacy, inner=sim.controller))
 
     # -- execution ------------------------------------------------------
 
@@ -420,6 +443,11 @@ class CompiledScenario:
         — the root of the empty-queue bit-identity gate.
         """
         spec = self.spec
+        # Fleet injections all lower to engine-level chaos events (the
+        # fleet path has no per-member controller wrappers): a
+        # cluster-less injection reaches every cluster; a leaf target
+        # stays cluster-local.  Schedule order is preserved per cluster
+        # — it is the engines' tie-break for same-timestamp events.
         plans = [
             ClusterPlan(
                 name=cluster.name,
@@ -431,7 +459,10 @@ class CompiledScenario:
                 spec=(None if cluster.server.is_default()
                       else cluster.server.to_machine_spec()),
                 managed=cluster.managed,
-                seed=fleet_spec.cluster_seed(i, spec.seed))
+                seed=fleet_spec.cluster_seed(i, spec.seed),
+                events=tuple(
+                    _chaos_event(inj) for inj in spec.injections
+                    if inj.cluster is None or inj.cluster == cluster.name))
             for i, cluster in enumerate(fleet_spec.clusters)
         ]
         return ShardedFleetSim(

@@ -18,9 +18,9 @@ from typing import Optional, Sequence
 
 from ..workloads.latency_critical import LC_PROFILES
 from .registry import register
-from .spec import (ClusterSpec, FleetSpec, JobSpec, ScenarioSpec,
-                   ScheduleSpec, ServerSpec, ShardSpec, SpikeSpec,
-                   SweepSpec, TraceSpec, WorkloadSpec)
+from .spec import (ClusterSpec, FleetSpec, InjectionSpec, JobSpec,
+                   ScenarioSpec, ScheduleSpec, ServerSpec, ShardSpec,
+                   SpikeSpec, SweepSpec, TraceSpec, WorkloadSpec)
 
 #: BE tasks shown in Figure 4 (iperf omitted for websearch/ml_cluster in
 #: the paper's plot because they are network-insensitive; we compute it
@@ -225,6 +225,72 @@ def mixed_fleet_1k_scenario(time_compression: float = 1.0,
             )))
 
 
+def chaos_1k_scenario(time_compression: float = 1.0,
+                      leaves_scale: float = 1.0,
+                      shard_leaves: int = 64,
+                      seed: int = 7) -> ScenarioSpec:
+    """The mixed 1000-leaf fleet under rolling fault-injection waves.
+
+    The :func:`mixed_fleet_1k_scenario` estate (four heterogeneous
+    clusters on phase-shifted 12-hour diurnal days) hit by every chaos
+    shape the engines support: two web-core leaves crash mid-morning
+    and rejoin cold after lunch, a web-himem leaf straggles at 60%
+    frequency through the peak, the whole kv-edge tier runs under a
+    70% power cap for half the day, and the ml-batch cluster is
+    partitioned from its fan-out root for a tenth of the day.  Event
+    times are fractions of the (compressed) duration, so the schedule
+    keeps its shape at any ``time_compression``, and leaf targets stay
+    at most 1, so they remain valid at any ``leaves_scale``.
+
+    Args:
+        time_compression: shrink factor for quick looks (durations,
+            trace periods, and event times shrink together).
+        leaves_scale: scale factor on every cluster's leaf count.
+        shard_leaves: maximum leaves per execution shard.
+        seed: base seed (cluster ``i`` defaults to ``seed + i``).
+    """
+    base = mixed_fleet_1k_scenario(time_compression=time_compression,
+                                   leaves_scale=leaves_scale,
+                                   shard_leaves=shard_leaves, seed=seed)
+    duration = base.duration_s
+    return ScenarioSpec(
+        name="chaos-1k",
+        description="The mixed-fleet-1k estate under crash, straggler, "
+                    "power-cap, and partition waves",
+        duration_s=duration,
+        warmup_s=base.warmup_s,
+        seed=seed,
+        fleet=base.fleet,
+        injections=(
+            # Morning crash wave: two web-core leaves drop out, rejoin
+            # cold after half the day.
+            InjectionSpec(at_s=0.20 * duration, action="leaf_crash",
+                          cluster="web-core", leaf=0),
+            InjectionSpec(at_s=0.22 * duration, action="leaf_crash",
+                          cluster="web-core", leaf=1),
+            InjectionSpec(at_s=0.50 * duration, action="leaf_restart",
+                          cluster="web-core", leaf=0),
+            InjectionSpec(at_s=0.52 * duration, action="leaf_restart",
+                          cluster="web-core", leaf=1),
+            # One memory-rich leaf straggles at 60% frequency through
+            # the peak, then recovers to stock.
+            InjectionSpec(at_s=0.25 * duration, action="straggler",
+                          value=0.60, cluster="web-himem", leaf=1),
+            InjectionSpec(at_s=0.60 * duration, action="straggler",
+                          value=1.0, cluster="web-himem", leaf=1),
+            # The whole edge tier rides a 70% power cap for half the
+            # day (a facility-level capacity event).
+            InjectionSpec(at_s=0.30 * duration, action="power_cap",
+                          value=0.70, cluster="kv-edge"),
+            InjectionSpec(at_s=0.80 * duration, action="power_cap",
+                          value=1.0, cluster="kv-edge"),
+            # The batch pool loses its root link for a tenth of the
+            # day: load held at the root, tails pinned at the penalty.
+            InjectionSpec(at_s=0.40 * duration, action="partition",
+                          value=0.10 * duration, cluster="ml-batch"),
+        ))
+
+
 def follow_the_sun_scenario(time_compression: float = 1.0,
                             leaves_per_region: int = 60,
                             shard_leaves: int = 32,
@@ -414,6 +480,9 @@ register("diurnal-spike", diurnal_spike_scenario,
          "Diurnal websearch + stream-DRAM with a 95% load spike")
 register("mixed-fleet-1k", mixed_fleet_1k_scenario,
          "1000-leaf, 4-cluster heterogeneous fleet, 12 h diurnal day")
+register("chaos-1k", chaos_1k_scenario,
+         "mixed-fleet-1k under crash / straggler / power-cap / "
+         "partition waves")
 register("follow-the-sun", follow_the_sun_scenario,
          "Three regions on an 8 h phase-shifted 24 h diurnal day")
 register("batch-backlog-1k", batch_backlog_1k_scenario,

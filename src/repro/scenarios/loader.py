@@ -69,7 +69,11 @@ def _parse_flow(text: str, where: str) -> Any:
                 raise ScenarioError(f"{where}: expected 'key: value' in "
                                     f"inline mapping, got {part.strip()!r}")
             key, _, value = part.partition(":")
-            out[key.strip()] = _parse_scalar(value)
+            key = key.strip()
+            if key in out:
+                raise ScenarioError(f"{where}: duplicate mapping key "
+                                    f"{key!r}")
+            out[key] = _parse_scalar(value)
         return out
     return _parse_scalar(text)
 
@@ -154,6 +158,11 @@ def _parse_block(lines: List[Tuple[int, str, int]], pos: int,
                         raise ScenarioError(
                             f"line {number}: expected mapping keys under "
                             f"the list item")
+                    for extra in more:
+                        if extra in item:
+                            raise ScenarioError(
+                                f"line {number}: duplicate mapping key "
+                                f"{extra!r} in the list item")
                     item.update(more)
                 result.append(item)
             else:
@@ -165,6 +174,9 @@ def _parse_block(lines: List[Tuple[int, str, int]], pos: int,
             key, _, rest = content.partition(":")
             key = key.strip()
             rest = rest.strip()
+            if key in result:
+                raise ScenarioError(f"line {number}: duplicate mapping "
+                                    f"key {key!r}")
             if rest:
                 result[key] = _parse_flow(rest, f"line {number}")
                 pos += 1

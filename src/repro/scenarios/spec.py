@@ -18,6 +18,7 @@ The schema is documented field-by-field in ``docs/scenarios.md``.
 from __future__ import annotations
 
 import dataclasses
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
 
@@ -36,9 +37,18 @@ CONTROLLERS = ("heracles", "none", "static-conservative",
 #: batch for multi-member scenarios.
 ENGINES = ("auto", "scalar", "batch")
 
-#: Mid-run injection actions (see :class:`InjectionSpec`).
+#: Mid-run injection actions (see :class:`InjectionSpec`).  The first
+#: five are per-member actuator pokes; the last five are *chaos* events
+#: resolved inside the engines (see :mod:`repro.sim.chaos`).
 INJECTION_ACTIONS = ("enable_be", "disable_be", "set_be_cores",
-                     "set_llc_split", "set_be_net_ceil")
+                     "set_llc_split", "set_be_net_ceil",
+                     "leaf_crash", "leaf_restart", "straggler",
+                     "power_cap", "partition")
+
+#: The subset of :data:`INJECTION_ACTIONS` lowered to engine-level
+#: chaos events (masked column updates) rather than actuator calls.
+CHAOS_ACTIONS = ("leaf_crash", "leaf_restart", "straggler", "power_cap",
+                 "partition")
 
 
 class ScenarioError(ValueError):
@@ -933,22 +943,48 @@ class ScheduleSpec:
 
 @dataclass(frozen=True)
 class InjectionSpec:
-    """A timed actuation applied mid-run to every member.
+    """A timed event applied mid-run to members or fleet leaves.
 
     Injections model events the controller must *react* to — a BE
-    antagonist arriving at ``t=600``, an operator forcing cores away —
-    as opposed to load spikes, which live on the trace.  Actions map
-    directly onto :class:`~repro.sim.actuators.Actuators` calls:
-    ``enable_be``, ``disable_be``, ``set_be_cores``, ``set_llc_split``,
-    ``set_be_net_ceil`` (the last three take ``value``).
+    antagonist arriving at ``t=600``, an operator forcing cores away,
+    a leaf crashing — as opposed to load spikes, which live on the
+    trace.  The first five actions map directly onto
+    :class:`~repro.sim.actuators.Actuators` calls: ``enable_be``,
+    ``disable_be``, ``set_be_cores``, ``set_llc_split``,
+    ``set_be_net_ceil`` (the last three take ``value``).  The five
+    *chaos* actions are resolved inside the simulation engines as
+    masked column updates (bit-identical across scalar/batch/mega):
+
+    * ``leaf_crash`` — the leaf drops out of physics and telemetry
+      (zero load, zero tail, BE force-disabled); no value.
+    * ``leaf_restart`` — a crashed leaf rejoins cold (BE disabled,
+      actuators reset); no value.
+    * ``straggler`` — per-leaf frequency/DRAM derate; ``value`` is the
+      derate factor in (0, 1] (1.0 restores full speed).
+    * ``power_cap`` — TDP override; ``value`` is the fraction of the
+      stock TDP in (0, 1] (1.0 restores the stock limit).
+    * ``partition`` — root↔leaf link blackout; ``value`` is the
+      blackout duration in seconds (load held at the root, tail
+      pinned at 10x SLO while partitioned).
+
+    ``cluster`` / ``leaf`` target the event: in a fleet scenario
+    ``cluster`` names one cluster (default: every cluster) and
+    ``leaf`` one leaf index within it (default: every leaf); in a
+    members scenario ``leaf`` is the member index (default: every
+    member) and ``cluster`` is not accepted.
     """
 
     at_s: float
     action: str
     value: Optional[float] = None
+    cluster: Optional[str] = None
+    leaf: Optional[int] = None
 
-    _FIELDS = ("at_s", "action", "value")
-    _VALUE_ACTIONS = ("set_be_cores", "set_llc_split", "set_be_net_ceil")
+    _FIELDS = ("at_s", "action", "value", "cluster", "leaf")
+    _VALUE_ACTIONS = ("set_be_cores", "set_llc_split", "set_be_net_ceil",
+                      "straggler", "power_cap", "partition")
+    #: value must lie in (0, 1] for these actions (derate fractions).
+    _FRACTION_ACTIONS = ("straggler", "power_cap")
 
     @classmethod
     def from_dict(cls, data: Any, ctx: str = "injection") -> "InjectionSpec":
@@ -960,15 +996,28 @@ class InjectionSpec:
                 raise ScenarioError(f"{ctx}: missing required field "
                                     f"{name!r}")
         value = data.get("value")
+        leaf = data.get("leaf")
+        if leaf is not None and (isinstance(leaf, bool)
+                                 or not isinstance(leaf, int)):
+            raise ScenarioError(f"{ctx}.leaf: expected an integer leaf "
+                                f"index, got {leaf!r}")
+        cluster = data.get("cluster")
+        if cluster is not None and not isinstance(cluster, str):
+            raise ScenarioError(f"{ctx}.cluster: expected a cluster name "
+                                f"string, got {cluster!r}")
         spec = cls(at_s=_number(data["at_s"], f"{ctx}.at_s"),
                    action=data["action"],
                    value=None if value is None
-                   else _number(value, f"{ctx}.value"))
+                   else _number(value, f"{ctx}.value"),
+                   cluster=cluster, leaf=leaf)
         spec.validate(ctx)
         return spec
 
     def validate(self, ctx: str = "injection") -> None:
-        """Check the action name and value requirements."""
+        """Check the action name, value requirements, and targeting."""
+        if not math.isfinite(self.at_s):
+            raise ScenarioError(f"{ctx}.at_s: must be finite, got "
+                                f"{self.at_s!r}")
         if self.at_s < 0:
             raise ScenarioError(f"{ctx}.at_s: must be >= 0")
         if self.action not in INJECTION_ACTIONS:
@@ -981,6 +1030,26 @@ class InjectionSpec:
         if self.action not in self._VALUE_ACTIONS and self.value is not None:
             raise ScenarioError(f"{ctx}: action {self.action!r} takes no "
                                 f"'value'")
+        if self.value is not None and not math.isfinite(self.value):
+            raise ScenarioError(f"{ctx}.value: must be finite, got "
+                                f"{self.value!r}")
+        if self.action in self._FRACTION_ACTIONS and not (
+                0.0 < self.value <= 1.0):
+            raise ScenarioError(f"{ctx}.value: {self.action!r} takes a "
+                                f"fraction in (0, 1], got {self.value!r}")
+        if self.action == "partition" and self.value <= 0:
+            raise ScenarioError(f"{ctx}.value: 'partition' takes a "
+                                f"positive blackout duration in seconds")
+        if self.leaf is not None and self.leaf < 0:
+            raise ScenarioError(f"{ctx}.leaf: must be >= 0")
+        if self.cluster is not None and not self.cluster:
+            raise ScenarioError(f"{ctx}.cluster: must be a non-empty "
+                                f"cluster name")
+
+    @property
+    def is_chaos(self) -> bool:
+        """True for engine-level chaos actions (vs actuator pokes)."""
+        return self.action in CHAOS_ACTIONS
 
 
 @dataclass(frozen=True)
@@ -1008,7 +1077,9 @@ class ScenarioSpec:
         engine: ``auto`` | ``scalar`` | ``batch`` for member scenarios.
         members / sweep / cluster / fleet / schedule: the scenario
             shape (exactly one).
-        injections: timed actuations applied to every member.
+        injections: timed actuator pokes and chaos events, applied to
+            members (member scenarios) or fleet leaves (fleet/schedule
+            scenarios), optionally targeted via ``cluster``/``leaf``.
     """
 
     name: str
@@ -1134,11 +1205,12 @@ class ScenarioSpec:
                 f"{ctx}.engine: only member scenarios take a top-level "
                 f"engine (cluster scenarios set cluster.engine; fleets "
                 f"always run sharded batches)")
-        if self.injections and not self.members:
-            raise ScenarioError(f"{ctx}.injections: injections require a "
-                                f"'members' scenario")
         fleet_like = self.fleet if self.fleet is not None else (
             self.schedule.fleet if self.schedule is not None else None)
+        if self.injections and not self.members and fleet_like is None:
+            raise ScenarioError(f"{ctx}.injections: injections require a "
+                                f"'members', 'fleet' or 'schedule' "
+                                f"scenario")
         if fleet_like is not None and not self.server.is_default():
             raise ScenarioError(
                 f"{ctx}.server: fleet scenarios declare hardware per "
@@ -1163,8 +1235,47 @@ class ScenarioSpec:
             self.schedule.validate(f"{ctx}.schedule")
             self.schedule.fleet.validate_seeds(self.seed,
                                                f"{ctx}.schedule.fleet")
+        cluster_leaves = ({c.name: c.leaves for c in fleet_like.clusters}
+                          if fleet_like is not None else None)
         for i, injection in enumerate(self.injections):
-            injection.validate(f"{ctx}.injections[{i}]")
+            ictx = f"{ctx}.injections[{i}]"
+            injection.validate(ictx)
+            if injection.at_s >= self.duration_s:
+                raise ScenarioError(
+                    f"{ictx}.at_s: fires at {injection.at_s} s, at or "
+                    f"after the scenario ends (duration_s="
+                    f"{self.duration_s}); injections must fire inside "
+                    f"the run")
+            if self.members:
+                if injection.cluster is not None:
+                    raise ScenarioError(
+                        f"{ictx}.cluster: member scenarios have no "
+                        f"clusters; use 'leaf' to target one member")
+                if (injection.leaf is not None
+                        and injection.leaf >= len(self.members)):
+                    raise ScenarioError(
+                        f"{ictx}.leaf: member index {injection.leaf} out "
+                        f"of range for {len(self.members)} member(s)")
+            elif cluster_leaves is not None:
+                if (injection.cluster is not None
+                        and injection.cluster not in cluster_leaves):
+                    raise ScenarioError(
+                        f"{ictx}.cluster: unknown cluster "
+                        f"{injection.cluster!r}; fleet clusters: "
+                        f"{', '.join(sorted(cluster_leaves))}")
+                if injection.leaf is not None:
+                    if injection.cluster is None:
+                        raise ScenarioError(
+                            f"{ictx}.leaf: a fleet-wide injection cannot "
+                            f"name a leaf index; add 'cluster' to pick "
+                            f"the cluster the index refers to")
+                    if injection.leaf >= cluster_leaves[injection.cluster]:
+                        raise ScenarioError(
+                            f"{ictx}.leaf: leaf index {injection.leaf} "
+                            f"out of range for cluster "
+                            f"{injection.cluster!r} "
+                            f"({cluster_leaves[injection.cluster]} "
+                            f"leaves)")
 
     def member_seed(self, index: int) -> int:
         """Effective tail-noise seed of member ``index``."""

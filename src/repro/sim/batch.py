@@ -64,6 +64,7 @@ from ..workloads.best_effort import (BestEffortWorkload,
 from ..workloads.latency_critical import LatencyCriticalWorkload
 from ..workloads.traces import LoadTrace
 from .actuators import BE_COS, Actuators
+from .chaos import PARTITION_TAIL_SLO_MULT, sort_events
 from .engine import Controller, SimHistory, TickRecord, TickSeriesMixin
 from .monitors import LatencyMonitor, ThroughputMonitor
 
@@ -568,6 +569,109 @@ class BatchColocationSim:
                         dtype=np.int64)
 
     # ------------------------------------------------------------------
+    # Chaos events (fault injection)
+    # ------------------------------------------------------------------
+    #
+    # Chaos is resolved as masked column updates over the same physics
+    # the scalar engine runs member-by-member; the semantics contract
+    # lives in :mod:`repro.sim.chaos`.  Every branch below is gated on
+    # ``self._chaos is None`` so a schedule-free run executes the exact
+    # instruction stream it always did (bit-identity by construction),
+    # and healthy members of a chaotic run multiply by exactly 1.0 —
+    # a bitwise identity — wherever a derate column touches them.
+
+    #: No chaos schedule attached (class default keeps the gate free).
+    _chaos = None
+
+    def set_chaos_events(self, events) -> None:
+        """Attach a chaos schedule (:class:`~repro.sim.chaos.ChaosEvent`).
+
+        Must be called before the first tick; member indices are local
+        to this engine (``None`` targets every member).
+        """
+        events = sort_events(events)
+        for event in events:
+            if event.members is None:
+                continue
+            for m in event.members:
+                if not 0 <= m < self.n:
+                    raise ValueError(
+                        f"chaos event targets member {m} of a "
+                        f"{self.n}-member batch")
+        n = self.n
+        self._chaos = events
+        self._chaos_pos = 0
+        self._chaos_alive = np.ones(n, dtype=bool)
+        self._chaos_derate = np.ones(n)
+        self._chaos_tdp = np.ones(n)
+        self._chaos_part_until = np.full(n, -np.inf)
+
+    def _chaos_apply(self) -> None:
+        """Fire due events, then re-pin the BE-off state of dead members."""
+        events = self._chaos
+        pos = self._chaos_pos
+        while pos < len(events) and events[pos].at_s <= self.time_s:
+            ev = events[pos]
+            pos += 1
+            idx = (list(range(self.n)) if ev.members is None
+                   else list(ev.members))
+            if not idx:
+                continue
+            if ev.action == "leaf_crash":
+                self._chaos_alive[idx] = False
+            elif ev.action == "leaf_restart":
+                self._chaos_alive[idx] = True
+                self._chaos_disable_be(idx)   # rejoin cold
+            elif ev.action == "straggler":
+                self._chaos_derate[idx] = float(ev.value)
+            elif ev.action == "power_cap":
+                self._chaos_tdp[idx] = float(ev.value)
+            elif ev.action == "partition":
+                self._chaos_part_until[idx] = np.maximum(
+                    self._chaos_part_until[idx], ev.at_s + float(ev.value))
+            elif ev.action == "enable_be":
+                self._chaos_enable_be(idx)
+            elif ev.action == "disable_be":
+                self._chaos_disable_be(idx)
+            elif ev.action == "set_be_cores":
+                self._chaos_set_be_cores(idx, int(ev.value))
+            elif ev.action == "set_llc_split":
+                self._chaos_set_llc_split(idx, int(ev.value))
+            else:  # set_be_net_ceil
+                self._chaos_set_net_ceil(idx, float(ev.value))
+        self._chaos_pos = pos
+        dead = ~self._chaos_alive
+        if dead.any():
+            # Forced off every tick while down: a controller that turns
+            # BE back on mid-crash is overridden at the next tick start,
+            # exactly as the scalar engine re-pins its single member.
+            self._chaos_disable_be(np.nonzero(dead)[0])
+
+    # Chaos actuator hooks — the member-surface seam.  The mega engine
+    # overrides these with masked array transcriptions of the same
+    # Actuators methods.
+
+    def _chaos_disable_be(self, indices) -> None:
+        for i in indices:
+            self.members[i].actuators.disable_be()
+
+    def _chaos_enable_be(self, indices) -> None:
+        for i in indices:
+            self.members[i].actuators.enable_be()
+
+    def _chaos_set_be_cores(self, indices, value: int) -> None:
+        for i in indices:
+            self.members[i].actuators.set_be_cores(value)
+
+    def _chaos_set_llc_split(self, indices, value: int) -> None:
+        for i in indices:
+            self.members[i].actuators.set_llc_split(value)
+
+    def _chaos_set_net_ceil(self, indices, value: float) -> None:
+        for i in indices:
+            self.members[i].actuators.set_be_net_ceil(value)
+
+    # ------------------------------------------------------------------
     # Static per-member parameter arrays
     # ------------------------------------------------------------------
 
@@ -728,8 +832,21 @@ class BatchColocationSim:
         spec = self.spec
         socket = spec.socket
 
+        # -- 0. Chaos events (fire at tick start, before load eval) ---------
+        if self._chaos is not None:
+            self._chaos_apply()
+            chaos_dead = ~self._chaos_alive
+            chaos_parted = self._chaos_alive & (self.time_s
+                                                < self._chaos_part_until)
+        else:
+            chaos_dead = chaos_parted = None
+
         # -- 1. Offered load ------------------------------------------------
         load = self._offered_load()
+        if self._chaos is not None:
+            # Crashed leaves serve nothing; partitioned leaves have
+            # their load held at the root (reads as zero here).
+            load = np.where(chaos_dead | chaos_parted, 0.0, load)
 
         # -- 2. Gather placement state from the actuators -------------------
         (be_enabled, be_eff, lc_ways, be_ways, dvfs_cap, throttle,
@@ -802,6 +919,11 @@ class BatchColocationSim:
         # Core-weighted achieved frequency per task.
         lc_freq = _weighted_freq(lc_freq_s, lc_s)
         be_freq = _weighted_freq(be_freq_s, be_s)
+        if self._chaos is not None:
+            # Straggler derate on the achieved frequencies (healthy
+            # members multiply by exactly 1.0 — a bitwise identity).
+            lc_freq = lc_freq * self._chaos_derate
+            be_freq = be_freq * self._chaos_derate
 
         # -- 5. LLC occupancy within each CAT partition ---------------------
         # LC and BE resolve in separate partitions with identical math,
@@ -855,6 +977,13 @@ class BatchColocationSim:
         draws = self._tail_noise_factors()
         if draws is not None:
             tail = tail * draws
+        if self._chaos is not None:
+            # Noise streams above still advanced for every member (so
+            # healthy members' draws are unaffected); the overrides
+            # replace the computed tail afterwards.
+            tail = np.where(chaos_parted,
+                            L["slo_ms"] * PARTITION_TAIL_SLO_MULT, tail)
+            tail = np.where(chaos_dead, 0.0, tail)
         slo_fraction = tail / L["slo_ms"]
 
         # -- 9. BE throughput ----------------------------------------------
@@ -989,6 +1118,11 @@ class BatchColocationSim:
         span = turbo.max_turbo_ghz - turbo.all_core_turbo_ghz
         k = socket.core_dynamic_watts
         tdp = socket.tdp_watts
+        if self._chaos is not None:
+            # Timed power caps scale the TDP limit per member; (N, 1)
+            # broadcasts across sockets.  Every use of ``tdp`` below is
+            # elementwise, so the array substitutes for the scalar.
+            tdp = tdp * self._chaos_tdp[:, None]
         idle = socket.idle_watts
 
         lc_present = lc_s > 0
@@ -1015,7 +1149,10 @@ class BatchColocationSim:
             idx = np.nonzero(throttled)
             T = np.stack([t_lc[idx], t_be[idx]])    # (2, M)
             C = np.stack([coef_lc[idx], coef_be[idx]])
-            lo = self._throttle_scale(T, C, idle, tdp, nominal, floor)
+            # Subset the per-member TDP column to the throttled sockets
+            # (tdp is per member, so the socket column is immaterial).
+            tdp_t = tdp[idx[0], 0] if isinstance(tdp, np.ndarray) else tdp
+            lo = self._throttle_scale(T, C, idle, tdp_t, nominal, floor)
             f_thr = np.maximum(floor, T * lo)
             p_thr = idle + (C[0] * (f_thr[0] / nominal) ** 3
                             + C[1] * (f_thr[1] / nominal) ** 3)
@@ -1115,6 +1252,11 @@ class BatchColocationSim:
                         uncached_be_s, be_miss_s, throttle, be_running):
         """Per-socket DRAM sharing, saturation delay, and counters."""
         cap = self._dram_cap  # scalar, or (N, 1) on a heterogeneous batch
+        if self._chaos is not None:
+            # Straggler derate on the per-member channel capacity (the
+            # scalar engine sets MemoryController.capacity_gbps to the
+            # same ``stock * derate`` product).
+            cap = cap * self._chaos_derate[:, None]
         knee, gain = 0.88, 0.10  # MemoryController defaults
 
         bw_lc = uncached_lc_s + lc_miss_s

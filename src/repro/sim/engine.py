@@ -22,12 +22,14 @@ polling counters and poking cgroups/MSRs/tc.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, Optional, Protocol
 
 import numpy as np
 
 from ..hardware.counters import CounterBank
+from ..hardware.power import SocketPowerModel
 from ..metrics.history import ColumnarHistory
 from ..hardware.server import Server, TaskUsage
 from ..hardware.spec import MachineSpec
@@ -36,6 +38,7 @@ from ..workloads.best_effort import (BestEffortWorkload,
 from ..workloads.latency_critical import LatencyCriticalWorkload
 from ..workloads.traces import LoadTrace
 from .actuators import Actuators
+from .chaos import PARTITION_TAIL_SLO_MULT, sort_events
 from .monitors import LatencyMonitor, ThroughputMonitor
 
 
@@ -174,12 +177,99 @@ class ColocationSim:
         self.controller = controller
 
     # ------------------------------------------------------------------
+    # Chaos events
+    # ------------------------------------------------------------------
+
+    def set_chaos_events(self, events) -> None:
+        """Install a chaos event schedule (see :mod:`repro.sim.chaos`).
+
+        Events fire at the start of the first tick whose time reaches
+        their ``at_s``, with the exact semantics the batched engines
+        replay bit-for-bit (the module docstring of
+        :mod:`repro.sim.chaos` is the contract).  A single-member sim
+        accepts only events targeting member 0 (or untargeted ones).
+        """
+        events = sort_events(events)
+        for event in events:
+            if event.members is not None and tuple(event.members) not in (
+                    (), (0,)):
+                raise ValueError(
+                    f"chaos event targets members {event.members}; a "
+                    f"scalar sim has only member 0")
+        self._chaos = events
+        self._chaos_pos = 0
+        self._chaos_alive = True
+        self._chaos_derate = 1.0
+        self._chaos_part_until = -np.inf
+        self._chaos_stock_socket = self.server.spec.socket
+
+    #: Chaos schedule; None (the default) keeps every chaos branch cold.
+    _chaos = None
+
+    def _chaos_apply(self) -> None:
+        """Fire due events, then pin a crashed member's BE off."""
+        events = self._chaos
+        while (self._chaos_pos < len(events)
+               and events[self._chaos_pos].at_s <= self.time_s):
+            event = events[self._chaos_pos]
+            self._chaos_pos += 1
+            if event.members is not None and not event.members:
+                continue
+            action = event.action
+            if action == "leaf_crash":
+                self._chaos_alive = False
+            elif action == "leaf_restart":
+                self._chaos_alive = True
+                self.actuators.disable_be()  # rejoin cold
+            elif action == "straggler":
+                self._chaos_derate = float(event.value)
+                # DRAM capacity derates with the member (stuck DIMM
+                # training, thermal throttling of the memory bus).
+                stock_bw = self._chaos_stock_socket.dram_bw_gbps
+                for controller in self.server.memory.values():
+                    controller.capacity_gbps = stock_bw * self._chaos_derate
+            elif action == "power_cap":
+                capped = dataclasses.replace(
+                    self._chaos_stock_socket,
+                    tdp_watts=(self._chaos_stock_socket.tdp_watts
+                               * float(event.value)))
+                self.server.power_model = SocketPowerModel(capped)
+            elif action == "partition":
+                self._chaos_part_until = max(
+                    self._chaos_part_until, event.at_s + float(event.value))
+            elif action == "enable_be":
+                self.actuators.enable_be()
+            elif action == "disable_be":
+                self.actuators.disable_be()
+            elif action == "set_be_cores":
+                self.actuators.set_be_cores(int(event.value))
+            elif action == "set_llc_split":
+                self.actuators.set_llc_split(int(event.value))
+            elif action == "set_be_net_ceil":
+                self.actuators.set_be_net_ceil(event.value)
+        if not self._chaos_alive:
+            # Re-pinned every tick: a controller that re-enabled BE at
+            # the end of the last tick is overruled while the leaf is
+            # down, so a restart always rejoins cold.
+            self.actuators.disable_be()
+
+    # ------------------------------------------------------------------
 
     def tick(self, dt_s: float = 1.0) -> TickRecord:
         """Advance the simulation by one interval."""
         if dt_s <= 0:
             raise ValueError("dt must be positive")
+        if self._chaos is not None:
+            self._chaos_apply()
         load = self.trace.clipped(self.time_s)
+        chaos_parted = False
+        if self._chaos is not None:
+            chaos_parted = (self._chaos_alive
+                            and self.time_s < self._chaos_part_until)
+            if not self._chaos_alive or chaos_parted:
+                # Crashed: the leaf serves nothing.  Partitioned: load
+                # is held at the fan-out root, none of it arrives.
+                load = 0.0
 
         lc_alloc = self.actuators.lc_allocation()
         demands = [self.lc.demand(load, lc_alloc)]
@@ -192,10 +282,27 @@ class ColocationSim:
         usages = self.server.resolve(demands)
         lc_usage = usages[self.lc.name]
         link_util = self.server.telemetry.link_utilization
+        if self._chaos is not None:
+            # Straggler derate: x1.0 is a bitwise identity, so healthy
+            # runs are untouched.  Mutating the resolved TaskUsage is
+            # what CounterBank.freq_of reads, matching the batched
+            # engines' derated frequency columns.
+            lc_usage.freq_ghz = lc_usage.freq_ghz * self._chaos_derate
+            if be_running:
+                be = usages[self.be.name]
+                be.freq_ghz = be.freq_ghz * self._chaos_derate
 
         tail_ms = self.lc.tail_latency_ms(load, lc_usage,
                                           link_utilization=link_util,
                                           rng=self.rng)
+        if self._chaos is not None:
+            # Overrides come after the noise draw so the member's RNG
+            # stream advances identically whether or not it is down.
+            if chaos_parted:
+                tail_ms = (self.lc.profile.slo_latency_ms
+                           * PARTITION_TAIL_SLO_MULT)
+            if not self._chaos_alive:
+                tail_ms = 0.0
         self.latency_monitor.record(self.time_s, tail_ms, load)
 
         be_norm = 0.0
@@ -207,6 +314,14 @@ class ColocationSim:
             be_norm = self.be_monitor.last_normalized
 
         telemetry = self.server.telemetry
+        if self._chaos is None:
+            power_fraction = telemetry.power_fraction_of_tdp
+        else:
+            # Under a power_cap the telemetry denominator is the capped
+            # TDP; histories (like the batched engines) keep reporting
+            # against the *stock* design power.
+            power_fraction = telemetry.total_power_watts / (
+                self._chaos_stock_socket.tdp_watts * self.server.spec.sockets)
         record = TickRecord(
             t_s=self.time_s,
             load=load,
@@ -222,7 +337,7 @@ class ColocationSim:
             dram_bw_gbps=telemetry.total_dram_gbps,
             dram_utilization=telemetry.max_dram_utilization,
             cpu_utilization=telemetry.cpu_utilization,
-            power_fraction_of_tdp=telemetry.power_fraction_of_tdp,
+            power_fraction_of_tdp=power_fraction,
             lc_net_gbps=lc_usage.net_achieved_gbps,
             be_net_gbps=(be_usage.net_achieved_gbps if be_usage else 0.0),
             link_utilization=link_util,

@@ -347,6 +347,12 @@ class MegaClusterSim(BatchColocationSim):
                             int(hot_per_socket / mb_per_way) + 2)
                 memo[key] = max(1, floor)
             floors[i] = memo[key]
+        if managed is not None:
+            # for_sim mutates only the actuators it attaches to, so an
+            # unmanaged leaf keeps the Actuators default floor of 1 on
+            # the sharded path; mirror that here (a chaos set_llc_split
+            # is the one writer that can reach an unmanaged member).
+            floors = np.where(np.asarray(managed, dtype=bool), floors, 1)
         self._min_lc_llc_ways = floors
         self._vec_controller = _VecHeracles(self, model_segments, config,
                                             managed)
@@ -391,6 +397,36 @@ class MegaClusterSim(BatchColocationSim):
     def be_cores_now(self) -> np.ndarray:
         """Current be_cores property view (post-controller state)."""
         return np.where(self._act_enabled, self._act_cores, 0)
+
+    # -- Chaos actuator hooks (masked Actuators transcriptions) ---------
+
+    def _chaos_mask(self, indices) -> np.ndarray:
+        mask = np.zeros(self.n, dtype=bool)
+        mask[list(indices)] = True
+        return mask
+
+    def _chaos_disable_be(self, indices) -> None:
+        self._v_disable(self._chaos_mask(indices))
+
+    def _chaos_enable_be(self, indices) -> None:
+        self._v_enable(self._chaos_mask(indices))
+
+    def _chaos_set_be_cores(self, indices, value: int) -> None:
+        # Actuators.set_be_cores: unconditional raw-count write, clamped
+        # to keep the LC core minimum.
+        clamped = max(0, min(int(value), self._max_be_cores))
+        self._act_cores[self._chaos_mask(indices)] = clamped
+
+    def _chaos_set_llc_split(self, indices, value: int) -> None:
+        self._v_set_split(self._chaos_mask(indices), int(value))
+
+    def _chaos_set_net_ceil(self, indices, value: float) -> None:
+        # HtbQdisc.set_ceil: clamp into [0, link rate] per member.
+        mask = self._chaos_mask(indices)
+        link = self._nic_link
+        ceil = np.minimum(np.maximum(0.0, float(value)),
+                          link[mask] if np.ndim(link) else link)
+        self._act_ceil[mask] = ceil
 
 
 class _VecHeracles:
@@ -473,6 +509,16 @@ class _VecHeracles:
         self._last_slack_drop = np.zeros(n)
         self._llc_slack_drop = np.zeros(n)
 
+    def _gate(self, mask: np.ndarray) -> np.ndarray:
+        """Restrict an actuation mask to managed members.
+
+        Chaos ``enable_be`` events can switch on BE work for unmanaged
+        members, so "has an enabled BE group" no longer implies
+        "managed" — but on the sharded path an unmanaged leaf has no
+        controller at all, so every controller write must stay off it.
+        """
+        return mask if self._man is None else mask & self._man
+
     # -- Shared measurements -------------------------------------------
 
     def _predict_lc_bw(self, load: np.ndarray,
@@ -534,28 +580,24 @@ class _VecHeracles:
 
         sim = self.sim
         viol = slack < 0
-        sim._v_disable(viol)
+        sim._v_disable(self._gate(viol))
         self.growth[viol] = False
         self.cooldown_until = np.where(
             viol, np.maximum(self.cooldown_until, now_s + cfg.cooldown_s),
             self.cooldown_until)
         rest = ~viol
         high = rest & (load > cfg.load_disable_threshold)
-        sim._v_disable(high)
+        sim._v_disable(self._gate(high))
         self.growth[high] = False
         rest = rest & ~high
-        enable = (rest & (load < cfg.load_enable_threshold)
-                  & ~(now_s < self.cooldown_until))
-        if self._man is not None:
-            # The one actuator path an unmanaged member could reach:
-            # every other action either requires an enabled BE group or
-            # writes a disabled member's state back to its init values.
-            enable = enable & self._man
+        enable = self._gate(rest & (load < cfg.load_enable_threshold)
+                            & ~(now_s < self.cooldown_until))
         sim._v_enable(enable)
         # Slack guards (unconditional on load; see top_level.py note).
         low = rest & (slack < cfg.slack_no_growth)
         self.growth[low] = False
-        cut = low & (slack < cfg.slack_cut_cores) & sim._act_enabled
+        cut = self._gate(low & (slack < cfg.slack_cut_cores)
+                         & sim._act_enabled)
         if cut.any():
             excess = sim.be_cores_now() - cfg.be_cores_floor
             sim._v_remove_cores(cut & (excess > 0), excess)
@@ -584,7 +626,7 @@ class _VecHeracles:
                             np.maximum(0.1, be_dram / safe_cores))
 
         # Hard constraint 1: never saturate DRAM.
-        m1 = (bw > self.dram_limit) & (cores > 0)
+        m1 = self._gate((bw > self.dram_limit) & (cores > 0))
         if m1.any():
             to_remove = np.maximum(
                 1.0, np.ceil((bw - self.dram_limit) / per_core))
@@ -598,7 +640,7 @@ class _VecHeracles:
         budget = np.maximum(0.0, self.total_cores - lc_floor)
         alive = ~m1
         over = cores - budget
-        m2 = alive & (over > 0)
+        m2 = self._gate(alive & (over > 0))
         if m2.any():
             sim._v_remove_cores(m2, over)
             self._pending &= ~m2
@@ -629,8 +671,8 @@ class _VecHeracles:
         self._llc_slack_drop[decay] *= 0.8
 
         # CanGrowBE(): enabled, growth allowed, no cooldown.
-        grow = (alive & sim._act_enabled & self.growth
-                & ~(now_s < self.cooldown_until))
+        grow = self._gate(alive & sim._act_enabled & self.growth
+                          & ~(now_s < self.cooldown_until))
         if not grow.any():
             return
         cores = sim.be_cores_now()  # hard constraints may have removed
@@ -702,13 +744,11 @@ class _VecHeracles:
         power_fraction = sim._rapl_watts.max(axis=1) / self.tdp_watts
         ls_freq = sim._tick["lc_freq_ghz"]
         threshold = cfg.power_tdp_threshold
-        lower = ((power_fraction > threshold)
-                 & (ls_freq < self.guaranteed_ghz)
-                 & (sim.be_cores_now() > 0))
-        raise_ = ((power_fraction <= threshold)
-                  & (ls_freq >= self.guaranteed_ghz))
-        if self._man is not None:
-            raise_ = raise_ & self._man  # lower already needs BE cores
+        lower = self._gate((power_fraction > threshold)
+                           & (ls_freq < self.guaranteed_ghz)
+                           & (sim.be_cores_now() > 0))
+        raise_ = self._gate((power_fraction <= threshold)
+                            & (ls_freq >= self.guaranteed_ghz))
         idx = sim._act_cap_idx
         idx[lower] = sim._cap_down[idx[lower]]
         idx[raise_] = sim._cap_up[idx[raise_]]
@@ -780,7 +820,7 @@ class MegaFleetSim:
                 group_of[key] = len(buckets)
                 buckets.append({"lcs": [], "traces": [], "bes": [],
                                 "seeds": [], "specs": [], "managed": [],
-                                "models": [], "spans": []})
+                                "models": [], "spans": [], "events": []})
             bucket = buckets[group_of[key]]
             leaf_slo_ms, _ = targets[plan.name]
             lc = make_leaf_lc(spec, leaf_slo_ms, lc_name=plan.lc_name)
@@ -801,6 +841,14 @@ class MegaFleetSim:
                     (slice(lo, lo + plan.leaves),
                      memoized_dram_model(plan.lc_name, spec)))
             bucket["spans"].append((index, lo, lo + plan.leaves))
+            # Chaos events arrive with cluster-local leaf targets (or
+            # None for the whole cluster); a merged membership needs
+            # explicit indices offset into the group.
+            for event in getattr(plan, "events", ()) or ():
+                local = (range(plan.leaves) if event.members is None
+                         else event.members)
+                bucket["events"].append(event.retarget(
+                    tuple(m + lo for m in local)))
 
         #: (merged sim, [(plan index, member lo, member hi), ...])
         self.groups: List[Tuple[MegaClusterSim, list]] = []
@@ -813,6 +861,8 @@ class MegaFleetSim:
                 sim.attach_vec_heracles(
                     model_segments=bucket["models"],
                     managed=np.array(bucket["managed"], dtype=bool))
+            if bucket["events"]:
+                sim.set_chaos_events(bucket["events"])
             self.groups.append((sim, bucket["spans"]))
 
     def run(self, duration_s: float, dt_s: float = 1.0,

@@ -124,6 +124,130 @@ class TestSingleServerEquivalence:
         assert_histories_match(a, b)
 
 
+#: One full-lifecycle event schedule per chaos action, shared with the
+#: dt-invariance suite (event times sit on the coarsest tick grid).
+CHAOS_EVENT_SETS = {
+    "leaf_crash": ((50.0, "leaf_crash", None), (120.0, "leaf_restart", None)),
+    "straggler": ((40.0, "straggler", 0.55), (150.0, "straggler", 1.0)),
+    "power_cap": ((30.0, "power_cap", 0.6), (140.0, "power_cap", 1.0)),
+    "partition": ((60.0, "partition", 45.0),),
+    "actuator": ((20.0, "disable_be", None), (80.0, "enable_be", None),
+                 (100.0, "set_be_cores", 2), (130.0, "set_llc_split", 3),
+                 (160.0, "set_be_net_ceil", 2.5)),
+}
+
+
+def chaos_events(action):
+    from repro.sim.chaos import ChaosEvent
+    return [ChaosEvent(at_s, name, value)
+            for at_s, name, value in CHAOS_EVENT_SETS[action]]
+
+
+class TestChaosEquivalence:
+    """Chaos actions under the scalar-vs-batch equivalence contract.
+
+    Every engine-level fault action — crash/restart, straggler, power
+    cap, partition, and the legacy actuator pokes — must degrade the
+    batched member exactly as it degrades the scalar engine, through a
+    Heracles controller reacting to the fault in both.
+    """
+
+    DURATION = 220.0
+
+    @pytest.mark.parametrize("action", sorted(CHAOS_EVENT_SETS))
+    def test_action_matches_scalar(self, action):
+        events = chaos_events(action)
+
+        def factory(events):
+            def attach(sim):
+                HeraclesController.for_sim(sim)
+                # Target member 0 explicitly on the batch engine; the
+                # scalar engine only accepts whole-membership targets.
+                owner = getattr(sim, "batch", sim)
+                if owner is sim:
+                    owner.set_chaos_events(events)
+                else:
+                    owner.set_chaos_events(
+                        [e.retarget((0,)) for e in events])
+            return attach
+
+        a = scalar_run("websearch", "brain", make_trace(), 11,
+                       factory(events), self.DURATION)
+        b = batch_run("websearch", "brain", make_trace(), 11,
+                      factory(events), self.DURATION)
+        assert_histories_match(a, b)
+
+    @pytest.mark.parametrize("action", sorted(CHAOS_EVENT_SETS))
+    def test_action_changes_the_run(self, action):
+        """Every schedule must observably perturb the history (guards
+        against events silently never firing)."""
+        plain = scalar_run("websearch", "brain", make_trace(), 11,
+                           HeraclesController.for_sim, self.DURATION)
+
+        def attach(sim):
+            HeraclesController.for_sim(sim)
+            sim.set_chaos_events(chaos_events(action))
+
+        chaos = scalar_run("websearch", "brain", make_trace(), 11,
+                           attach, self.DURATION)
+        a = np.asarray(plain.column("tail_latency_ms"))
+        b = np.asarray(chaos.column("tail_latency_ms"))
+        assert not np.array_equal(a, b), (
+            f"chaos[{action}] left the run untouched")
+
+    def test_untargeted_member_is_bit_identical(self):
+        """A chaos schedule aimed at member 0 must leave member 1's
+        history bitwise equal to a chaos-free twin (the x1.0-identity
+        contract for healthy members)."""
+        from repro.sim.chaos import ChaosEvent
+        spec = default_machine_spec()
+
+        def run(with_chaos):
+            lc = make_lc_workload("websearch", spec)
+            bes = [make_be_workload("brain", spec),
+                   make_be_workload("streetview", spec)]
+            batch = BatchColocationSim(lc=lc, trace=make_trace(17),
+                                       bes=bes, spec=spec, seeds=[41, 42])
+            for member in batch.members:
+                HeraclesController.for_sim(member)
+            if with_chaos:
+                batch.set_chaos_events(
+                    [ChaosEvent(30.0, "leaf_crash", members=(0,)),
+                     ChaosEvent(70.0, "straggler", 0.5, members=(0,)),
+                     ChaosEvent(110.0, "leaf_restart", members=(0,))])
+            batch.run(180.0)
+            return batch
+
+        plain, chaos = run(False), run(True)
+        for name in FLOAT_FIELDS:
+            a = np.asarray(plain.members[1].history.column(name))
+            b = np.asarray(chaos.members[1].history.column(name))
+            assert np.array_equal(a, b, equal_nan=True), (
+                f"member 1 field {name!r} perturbed by member 0's chaos")
+        # ... while member 0 itself was visibly degraded.
+        a = np.asarray(plain.members[0].history.column("tail_latency_ms"))
+        b = np.asarray(chaos.members[0].history.column("tail_latency_ms"))
+        assert not np.array_equal(a, b)
+
+    def test_rejects_bad_targets_and_values(self):
+        from repro.sim.chaos import ChaosEvent
+        spec = default_machine_spec()
+        lc = make_lc_workload("websearch", spec)
+        batch = BatchColocationSim(lc=lc, trace=ConstantLoad(0.5),
+                                   bes=make_be_workload("brain", spec),
+                                   spec=spec, seeds=[1, 2])
+        with pytest.raises(ValueError, match="member"):
+            batch.set_chaos_events(
+                [ChaosEvent(10.0, "leaf_crash", members=(5,))])
+        with pytest.raises(ValueError, match="value"):
+            batch.set_chaos_events([ChaosEvent(10.0, "straggler")])
+        sim = ColocationSim(lc=make_lc_workload("websearch", spec),
+                            trace=ConstantLoad(0.5), spec=spec, seed=1)
+        with pytest.raises(ValueError, match="member"):
+            sim.set_chaos_events(
+                [ChaosEvent(10.0, "leaf_crash", members=(1,))])
+
+
 class TestHeterogeneousBatch:
     def test_mixed_members_match_scalar_twins(self):
         """brain + streetview + no-BE members in one batch, all exact."""

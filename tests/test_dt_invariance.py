@@ -131,6 +131,82 @@ class TestBatchDtInvariance:
             sim.history.worst_window_slo(skip_s=60.0), rel=1e-12)
 
 
+class TestChaosDtInvariance:
+    """Chaos events honour the tick size: an event at ``at_s`` fires at
+    the same simulated time whatever the dt, so the degraded run's
+    aggregates are tick-invariant — and the engines stay bit-identical
+    at every tick size."""
+
+    #: Every chaos action with event times on the coarsest (5 s) grid.
+    ACTIONS = {
+        "leaf_crash": ((60.0, "leaf_crash", None),
+                       (160.0, "leaf_restart", None)),
+        "straggler": ((60.0, "straggler", 0.55), (160.0, "straggler", 1.0)),
+        "power_cap": ((60.0, "power_cap", 0.6), (160.0, "power_cap", 1.0)),
+        "partition": ((60.0, "partition", 45.0),),
+        "actuator": ((20.0, "disable_be", None), (80.0, "enable_be", None),
+                     (100.0, "set_be_cores", 2), (130.0, "set_llc_split", 3),
+                     (160.0, "set_be_net_ceil", 2.5)),
+    }
+
+    def _events(self, action):
+        from repro.sim.chaos import ChaosEvent
+        return [ChaosEvent(at_s, name, value)
+                for at_s, name, value in self.ACTIONS[action]]
+
+    def _run(self, dt_s, action, duration=300.0):
+        spec = default_machine_spec()
+        batch = BatchColocationSim(
+            lc=quiet_lc(spec), trace=ConstantLoad(0.5),
+            bes=[make_be_workload("brain", spec), None], spec=spec,
+            seeds=[0, 1])
+        member = batch.members[0]
+        member.attach_controller(optimistic_static(member.actuators))
+        batch.set_chaos_events(
+            [e.retarget((0,)) for e in self._events(action)])
+        batch.run(duration, dt_s=dt_s)
+        return batch
+
+    @pytest.mark.parametrize("action", sorted(ACTIONS))
+    def test_member_metrics_invariant(self, action):
+        runs = [self._run(dt, action) for dt in DTS]
+        emu = [r.members[0].history.mean_emu(skip_s=60.0) for r in runs]
+        worst = [r.members[0].history.max_slo_fraction(skip_s=60.0)
+                 for r in runs]
+        for value in emu[1:]:
+            assert value == pytest.approx(emu[0], rel=1e-9)
+        for value in worst[1:]:
+            assert value == pytest.approx(worst[0], rel=1e-9)
+
+    @pytest.mark.parametrize("dt_s", DTS)
+    def test_engines_identical_at_every_dt(self, dt_s):
+        """Sharded and mega runs of a chaos schedule are bit-identical
+        whatever the tick size."""
+        from repro.sim.chaos import ChaosEvent
+        events = (ChaosEvent(30.0, "leaf_crash", members=(0,)),
+                  ChaosEvent(45.0, "straggler", 0.6, members=(1,)),
+                  ChaosEvent(60.0, "power_cap", 0.75),
+                  ChaosEvent(80.0, "partition", 25.0, members=(2,)),
+                  ChaosEvent(120.0, "leaf_restart", members=(0,)))
+
+        def run(engine, shard_leaves=1):
+            fleet = ShardedFleetSim(
+                [ClusterPlan(name="c", leaves=3, trace=ConstantLoad(0.6),
+                             seed=0, events=events)],
+                shard_leaves=shard_leaves, engine=engine)
+            return fleet.run(180.0, dt_s=dt_s, processes=1)
+
+        sharded = run("sharded")
+        mega = run("mega", shard_leaves=3)
+        for name in ("t_s", "load", "root_latency_ms",
+                     "root_slo_fraction", "emu"):
+            assert np.array_equal(
+                sharded.cluster("c").history.column(name),
+                mega.cluster("c").history.column(name)), (
+                f"dt_s={dt_s}: column {name!r} diverged across engines")
+        assert sharded.summary() == mega.summary()
+
+
 class TestClusterDtInvariance:
     def _run(self, dt_s, duration=240.0):
         cluster = WebsearchCluster(leaves=2, trace=ConstantLoad(0.6),

@@ -23,6 +23,7 @@ from repro.fleet.shard import ShardTask
 from repro.hardware.spec import default_machine_spec
 from repro.scenarios import (ScenarioError, compile_scenario, load_scenario,
                              registry)
+from repro.sim.chaos import ChaosEvent
 from repro.sim.runner import JOBS_ENV
 from repro.workloads.traces import (ConstantLoad, PhasedTrace,
                                     websearch_cluster_trace)
@@ -243,6 +244,127 @@ class TestMegaEngineDifferential:
             ShardedFleetSim(
                 [ClusterPlan(name="c", leaves=4, trace=ConstantLoad(0.5))],
                 engine="bogus")
+
+
+#: One event schedule per chaos action (plus the legacy actuator pokes),
+#: each exercising the action's full lifecycle — fire, run degraded,
+#: recover — inside the differential window.
+CHAOS_SETS = {
+    "leaf_crash": (ChaosEvent(30.0, "leaf_crash", members=(1, 4)),
+                   ChaosEvent(80.0, "leaf_restart", members=(1, 4))),
+    "straggler": (ChaosEvent(25.0, "straggler", 0.55, members=(2,)),
+                  ChaosEvent(90.0, "straggler", 1.0, members=(2,))),
+    "power_cap": (ChaosEvent(20.0, "power_cap", 0.7),
+                  ChaosEvent(100.0, "power_cap", 1.0)),
+    "partition": (ChaosEvent(40.0, "partition", 30.0, members=(0, 5)),),
+    "actuator": (ChaosEvent(20.0, "disable_be", members=(3,)),
+                 ChaosEvent(60.0, "enable_be", members=(3,)),
+                 ChaosEvent(75.0, "set_be_cores", 2, members=(3,)),
+                 ChaosEvent(90.0, "set_llc_split", 3, members=(3,)),
+                 ChaosEvent(105.0, "set_be_net_ceil", 2.5, members=(3,))),
+}
+
+CHAOS_DURATION = 120.0
+
+
+def run_chaos_fleet(events, shard_leaves, engine="sharded", processes=1):
+    """One fleet run of the differential cluster under a chaos schedule."""
+    fleet = ShardedFleetSim(
+        [ClusterPlan(name="diff", leaves=LEAVES, trace=reference_trace(),
+                     seed=SEED, events=tuple(events))],
+        shard_leaves=shard_leaves, engine=engine)
+    return fleet.run(CHAOS_DURATION, processes=processes)
+
+
+class TestChaosDifferential:
+    """Chaos events across engines: the bit-identity contract extends to
+    every fault-injection action.  The same schedule runs (a) as one
+    whole-cluster shard, (b) sharded 3 ways across worker pools, and
+    (c) on the mega engine — identical histories, no tolerance."""
+
+    @pytest.mark.parametrize("action", sorted(CHAOS_SETS))
+    def test_action_is_shard_and_engine_invariant(self, action):
+        events = CHAOS_SETS[action]
+        whole = run_chaos_fleet(events, shard_leaves=LEAVES)
+        sharded = run_chaos_fleet(events, shard_leaves=3)
+        mega = run_chaos_fleet(events, shard_leaves=LEAVES, engine="mega")
+        for other, what in ((sharded, "3-shard"), (mega, "mega")):
+            assert_cluster_histories_identical(
+                other.cluster("diff").history,
+                whole.cluster("diff").history,
+                f"chaos[{action}] {what} vs whole-cluster")
+            assert other.summary(skip_s=10.0) == whole.summary(skip_s=10.0)
+
+    @pytest.mark.parametrize("action", sorted(CHAOS_SETS))
+    def test_action_actually_fires(self, action):
+        """Guard against silently dropped events: every schedule must
+        change the cluster's history relative to the no-chaos run."""
+        plain = run_chaos_fleet((), shard_leaves=LEAVES)
+        chaos = run_chaos_fleet(CHAOS_SETS[action], shard_leaves=LEAVES)
+        a = plain.cluster("diff").history.column("root_latency_ms")
+        b = chaos.cluster("diff").history.column("root_latency_ms")
+        assert not np.array_equal(a, b), (
+            f"chaos[{action}]: schedule had no observable effect")
+
+    @pytest.mark.parametrize("jobs", ["1", "4"])
+    def test_mixed_schedule_across_pools(self, monkeypatch, jobs):
+        """All five chaos actions plus actuator pokes interleaved, on a
+        heterogeneous managed + unmanaged fleet, across worker pools."""
+        monkeypatch.setenv(JOBS_ENV, jobs)
+        events_a = (ChaosEvent(20.0, "leaf_crash", members=(0,)),
+                    ChaosEvent(30.0, "straggler", 0.6, members=(2,)),
+                    ChaosEvent(45.0, "power_cap", 0.75),
+                    ChaosEvent(60.0, "partition", 25.0, members=(3,)),
+                    ChaosEvent(90.0, "leaf_restart", members=(0,)),
+                    ChaosEvent(100.0, "set_be_cores", 1, members=(1,)))
+        events_b = (ChaosEvent(35.0, "enable_be"),
+                    ChaosEvent(55.0, "set_llc_split", 2, members=(1,)),
+                    ChaosEvent(70.0, "leaf_crash", members=(2,)),
+                    ChaosEvent(95.0, "set_be_net_ceil", 1.5))
+
+        def plans():
+            return [
+                ClusterPlan(name="alpha", leaves=5,
+                            trace=reference_trace(), seed=1,
+                            events=events_a),
+                ClusterPlan(name="beta", leaves=4, lc_name="memkeyval",
+                            be_mix=("iperf",),
+                            trace=PhasedTrace(reference_trace(), 600.0),
+                            managed=False, seed=2, events=events_b),
+            ]
+        fine = ShardedFleetSim(plans(), shard_leaves=2) \
+            .run(CHAOS_DURATION, processes=None)
+        coarse = ShardedFleetSim(plans(), shard_leaves=5) \
+            .run(CHAOS_DURATION, processes=None)
+        mega = ShardedFleetSim(plans(), engine="mega").run(CHAOS_DURATION)
+        for name in ("alpha", "beta"):
+            want = coarse.cluster(name).history
+            for other, what in ((fine, "2-leaf shards"), (mega, "mega")):
+                assert_cluster_histories_identical(
+                    other.cluster(name).history, want,
+                    f"mixed chaos [{name}] {what} vs whole-cluster")
+        assert fine.summary() == coarse.summary() == mega.summary()
+
+    def test_whole_cluster_events_reach_every_shard(self):
+        """members=None fans out to all leaves on every execution plan —
+        including shards whose leaf range starts past zero."""
+        events = (ChaosEvent(30.0, "leaf_crash"),)
+        sharded = run_chaos_fleet(events, shard_leaves=3)
+        tails = sharded.cluster("diff").history.column("root_latency_ms")
+        # Every leaf dead: the root sees zero latency after the crash.
+        assert tails[-1] == 0.0
+
+    def test_plan_rejects_out_of_range_targets(self):
+        with pytest.raises(ValueError, match="targets\\s+leaf 9"):
+            ShardedFleetSim([ClusterPlan(
+                name="c", leaves=4, trace=ConstantLoad(0.5),
+                events=(ChaosEvent(10.0, "leaf_crash", members=(9,)),))])
+
+    def test_plan_rejects_invalid_events(self):
+        with pytest.raises(ValueError, match="value"):
+            ShardedFleetSim([ClusterPlan(
+                name="c", leaves=4, trace=ConstantLoad(0.5),
+                events=(ChaosEvent(10.0, "straggler"),))])
 
 
 class TestRunShard:
@@ -516,6 +638,12 @@ class TestFleetSpecSchema:
         sun = registry.get("follow-the-sun")
         phases = [c.trace.phase_s for c in sun.fleet.clusters]
         assert phases[0] == 0.0 and phases[1] < phases[2]
+        chaos = registry.get("chaos-1k")
+        assert chaos.fleet.total_leaves() == 1000
+        actions = {inj.action for inj in chaos.injections}
+        assert {"leaf_crash", "leaf_restart", "straggler", "power_cap",
+                "partition"} <= actions
+        assert all(inj.at_s < chaos.duration_s for inj in chaos.injections)
 
     def test_fleet_spec_runs_through_compiler(self):
         spec = load_scenario(self._fleet_dict())
@@ -537,6 +665,7 @@ class TestFleetCli:
         assert main(["fleet", "--list"]) == 0
         out = capsys.readouterr().out
         assert "mixed-fleet-1k" in out and "follow-the-sun" in out
+        assert "chaos-1k" in out
         assert "fig4" not in out
 
     def test_fleet_runs_spec_file(self, tmp_path, capsys, monkeypatch):

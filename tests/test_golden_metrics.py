@@ -100,6 +100,70 @@ class TestClusterGoldens:
             batch_history.max_root_slo_fraction(), rel=1e-12)
 
 
+class TestChaos1kGoldens:
+    """chaos-1k at 120x compression, 1% leaves (10 leaves, 360 s).
+
+    Pins the fault-injection showcase scenario: crash/restart waves on
+    web-core, a straggler through web-himem's peak, a kv-edge power
+    cap, and an ml-batch root partition.  The values bake in every
+    chaos code path, so a drift here means the chaos engine moved.
+    """
+
+    @staticmethod
+    def compressed_spec():
+        from repro.scenarios.library import chaos_1k_scenario
+        return chaos_1k_scenario(time_compression=120.0,
+                                 leaves_scale=0.01)
+
+    @pytest.fixture(scope="class")
+    def summary(self):
+        from repro.scenarios import run_scenario
+        spec = self.compressed_spec()
+        result = run_scenario(spec, processes=1)
+        return result.fleet.summary(skip_s=spec.warmup_s)
+
+    def test_fleet_emu(self, summary):
+        assert summary["fleet_emu"] == pytest.approx(
+            0.5430787489564083, rel=RTOL)
+        assert summary["min_fleet_emu"] == pytest.approx(
+            0.27516806888290857, rel=RTOL)
+
+    def test_weighted_root_latency(self, summary):
+        assert summary["weighted_root_latency_ms"] == pytest.approx(
+            72.40651867416112, rel=RTOL)
+
+    def test_crashed_cluster_stats(self, summary):
+        web = summary["clusters"]["web-core"]
+        assert web["mean_emu"] == pytest.approx(
+            0.6188655681649528, rel=RTOL)
+        assert web["max_root_slo_fraction"] == pytest.approx(
+            0.9341017267791231, rel=RTOL)
+
+    def test_partitioned_cluster_stats(self, summary):
+        ml = summary["clusters"]["ml-batch"]
+        assert ml["max_root_slo_fraction"] == pytest.approx(
+            9.25579281906647, rel=RTOL)
+        assert ml["mean_emu"] == pytest.approx(
+            0.4417925233619397, rel=RTOL)
+
+    def test_straggler_blows_the_leaf_slo(self, summary):
+        # A 60% frequency derate through the diurnal peak is not
+        # survivable at that SLO — the pin documents the blast radius.
+        himem = summary["clusters"]["web-himem"]
+        assert himem["max_root_slo_fraction"] == pytest.approx(
+            57.51172052619947, rel=RTOL)
+
+    def test_mega_engine_agrees(self, summary):
+        import dataclasses
+
+        from repro.scenarios import run_scenario
+        spec = self.compressed_spec()
+        mega = dataclasses.replace(
+            spec, fleet=dataclasses.replace(spec.fleet, engine="mega"))
+        result = run_scenario(mega, processes=1)
+        assert result.fleet.summary(skip_s=spec.warmup_s) == summary
+
+
 class TestWorstWindowDtCorrectness:
     """worst_window_slo derives its width from the actual tick size."""
 

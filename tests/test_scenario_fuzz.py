@@ -1,0 +1,341 @@
+"""Hypothesis-driven scenario fuzzer: the auto-generated bit-identity
+test matrix.
+
+The hand-written differential tests pin specific scenarios; this module
+generates *random valid* :class:`ScenarioSpec` trees across all five
+shapes (members / sweep / cluster / fleet / schedule) — including
+random chaos and actuator injections — and asserts the engine
+equivalence contracts hold for every one of them:
+
+* fleet-like shapes (``fleet``, ``schedule``): bit-identical
+  ``FleetResult.summary()`` and per-cluster history columns across
+  engine ∈ {sharded, mega} × shard_leaves ∈ {1, 3, as-drawn} ×
+  ``REPRO_JOBS`` ∈ {1, 4};
+* member shapes: back-to-back determinism is bitwise, and a
+  single-member batch matches the scalar reference engine under the
+  repo's scalar↔batch contract (``rtol=1e-9`` floats, exact actuator
+  columns);
+* cluster shapes: the batch engine matches the scalar per-leaf loop
+  bitwise on every arm;
+* sweep shapes: serial and process-pool execution produce identical
+  grids.
+
+Profiles: ``REPRO_FUZZ_PROFILE=ci`` (the CI pin: 200 derandomized
+examples for the fleet matrix) or ``dev`` (default: a quick seeded
+pass).  ``tools/fuzz_scenarios.py`` reuses the same generator idea for
+open-ended soak runs.
+"""
+
+import dataclasses
+import os
+
+import numpy as np
+import pytest
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios import run_scenario
+from repro.scenarios.spec import (CONTROLLERS, INJECTION_ACTIONS,
+                                  ClusterSpec, FleetSpec, InjectionSpec,
+                                  JobSpec, ScenarioSpec, ScheduleSpec,
+                                  ShardSpec, SweepSpec, TraceSpec,
+                                  WorkloadSpec)
+from repro.sim.runner import JOBS_ENV
+from repro.workloads.best_effort import BE_PROFILES
+from repro.workloads.latency_critical import LC_PROFILES
+
+# -- hypothesis profiles -------------------------------------------------
+# "ci" is the pinned gate: derandomized (fixed example corpus, no flaky
+# reruns) and sized so the fleet matrix covers 200 generated scenarios.
+# "dev" (default) is a quick local pass with the usual random seed.
+settings.register_profile(
+    "ci", max_examples=200, derandomize=True, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.register_profile(
+    "dev", max_examples=20, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.load_profile(os.environ.get("REPRO_FUZZ_PROFILE", "dev"))
+
+LCS = tuple(sorted(LC_PROFILES))
+BES = tuple(sorted(BE_PROFILES))
+
+#: Valid values per value-taking action (grids, not raw floats: the
+#: interesting behaviour lives at distinct regimes, not in the mantissa).
+VALUE_GRIDS = {
+    "set_be_cores": (1, 2, 4),
+    "set_llc_split": (1, 3, 6),
+    "set_be_net_ceil": (0.5, 2.0, 9.0),
+    "straggler": (0.25, 0.5, 0.75, 1.0),
+    "power_cap": (0.4, 0.7, 1.0),
+    "partition": (5.0, 15.0, 30.0),
+}
+
+CLUSTER_FIELDS = ("t_s", "load", "root_latency_ms", "root_slo_fraction",
+                  "emu")
+MEMBER_FLOAT_FIELDS = (
+    "t_s", "load", "tail_latency_ms", "slo_fraction", "be_throughput_norm",
+    "emu", "dram_bw_gbps", "dram_utilization", "cpu_utilization",
+    "power_fraction_of_tdp", "lc_net_gbps", "be_net_gbps",
+    "link_utilization",
+)
+MEMBER_EXACT_FIELDS = ("be_cores", "be_llc_ways", "be_enabled",
+                       "be_dvfs_cap_ghz", "be_net_ceil_gbps")
+
+
+def draw_injection(draw, duration, cluster_leaves=None, n_members=None):
+    """One valid InjectionSpec for a fleet (cluster_leaves) or members
+    (n_members) scenario."""
+    action = draw(st.sampled_from(INJECTION_ACTIONS))
+    value = (draw(st.sampled_from(VALUE_GRIDS[action]))
+             if action in VALUE_GRIDS else None)
+    at_s = float(draw(st.integers(0, int(duration) - 1)))
+    cluster = None
+    leaf = None
+    if cluster_leaves is not None:
+        cluster = draw(st.one_of(
+            st.none(), st.sampled_from(sorted(cluster_leaves))))
+        if cluster is not None:
+            leaf = draw(st.one_of(
+                st.none(), st.integers(0, cluster_leaves[cluster] - 1)))
+    else:
+        leaf = draw(st.one_of(st.none(), st.integers(0, n_members - 1)))
+    return InjectionSpec(at_s=at_s, action=action, value=value,
+                         cluster=cluster, leaf=leaf)
+
+
+def draw_trace(draw):
+    """A deterministic (noise-free) trace with distinct regimes."""
+    kind = draw(st.sampled_from(("constant", "diurnal")))
+    if kind == "constant":
+        return TraceSpec(kind="constant",
+                         load=draw(st.sampled_from((0.3, 0.5, 0.7))))
+    return TraceSpec(kind="diurnal", low=0.2,
+                     high=draw(st.sampled_from((0.6, 0.85))),
+                     period_s=120.0, noise_sigma=0.0)
+
+
+@st.composite
+def fleet_like_specs(draw):
+    """A random valid fleet or schedule scenario, with injections."""
+    clusters = []
+    for i in range(draw(st.integers(1, 2))):
+        be_mix = draw(st.lists(st.sampled_from(BES), min_size=1,
+                               max_size=2, unique=True))
+        clusters.append(ShardSpec(
+            name=f"c{i}",
+            leaves=draw(st.integers(2, 4)),
+            lc=draw(st.sampled_from(LCS)),
+            be_mix=tuple(be_mix),
+            trace=draw_trace(draw),
+            managed=draw(st.booleans())))
+    fleet = FleetSpec(clusters=tuple(clusters),
+                      shard_leaves=draw(st.sampled_from((2, 8))),
+                      record_period_s=5.0)
+    duration = float(draw(st.sampled_from((40, 60))))
+    cluster_leaves = {c.name: c.leaves for c in fleet.clusters}
+    injections = tuple(
+        draw_injection(draw, duration, cluster_leaves=cluster_leaves)
+        for _ in range(draw(st.integers(0, 5))))
+    kwargs = dict(
+        name="fuzz-fleet",
+        duration_s=duration,
+        dt_s=draw(st.sampled_from((0.5, 1.0))),
+        warmup_s=float(draw(st.sampled_from((0, 10)))),
+        seed=draw(st.integers(0, 5)),
+        injections=injections)
+    if draw(st.booleans()):
+        jobs = tuple(
+            JobSpec(name=f"job{j}",
+                    demand_core_s=float(draw(st.sampled_from((40, 160)))),
+                    max_cores=draw(st.sampled_from((1, 4))),
+                    priority=draw(st.sampled_from((0, 1))),
+                    arrival_s=float(draw(st.sampled_from((0, 15)))),
+                    count=draw(st.sampled_from((1, 2))))
+            for j in range(draw(st.integers(0, 2))))
+        return ScenarioSpec(schedule=ScheduleSpec(fleet=fleet, jobs=jobs,
+                                                  epoch_s=20.0),
+                            **kwargs)
+    return ScenarioSpec(fleet=fleet, **kwargs)
+
+
+@st.composite
+def member_specs(draw):
+    """A random valid members scenario (every member gets a BE so the
+    actuator injections always have a group to poke)."""
+    n = draw(st.integers(1, 3))
+    duration = 60.0
+    members = tuple(
+        WorkloadSpec(lc=draw(st.sampled_from(LCS)),
+                     be=draw(st.sampled_from(BES)),
+                     trace=draw_trace(draw),
+                     controller=draw(st.sampled_from(CONTROLLERS)))
+        for _ in range(n))
+    injections = tuple(
+        draw_injection(draw, duration, n_members=n)
+        for _ in range(draw(st.integers(0, 4))))
+    return ScenarioSpec(name="fuzz-members", duration_s=duration,
+                        warmup_s=15.0, seed=draw(st.integers(0, 5)),
+                        members=members, injections=injections)
+
+
+@st.composite
+def cluster_specs(draw):
+    """A random valid cluster scenario (injection-free by contract)."""
+    cluster = ClusterSpec(
+        leaves=draw(st.integers(2, 3)),
+        arms=draw(st.sampled_from((("managed",), ("managed", "baseline")))),
+        trace=draw_trace(draw),
+        engine="batch")
+    return ScenarioSpec(name="fuzz-cluster", duration_s=40.0,
+                        warmup_s=10.0, seed=draw(st.integers(0, 5)),
+                        cluster=cluster)
+
+
+@st.composite
+def sweep_specs(draw):
+    """A random valid sweep scenario (small grid)."""
+    sweep = SweepSpec(
+        lc_tasks=(draw(st.sampled_from(LCS)),),
+        be_tasks=tuple(draw(st.lists(st.sampled_from(BES), min_size=1,
+                                     max_size=2, unique=True))),
+        loads=tuple(draw(st.lists(st.sampled_from((0.25, 0.5, 0.75)),
+                                  min_size=1, max_size=2, unique=True))),
+        include_baseline=draw(st.booleans()))
+    return ScenarioSpec(name="fuzz-sweep", duration_s=40.0, warmup_s=10.0,
+                        seed=draw(st.integers(0, 5)), sweep=sweep)
+
+
+def run_with_jobs(spec, jobs):
+    """Run a scenario with ``REPRO_JOBS`` pinned to ``jobs``."""
+    saved = os.environ.get(JOBS_ENV)
+    os.environ[JOBS_ENV] = str(jobs)
+    try:
+        return run_scenario(spec, processes=None)
+    finally:
+        if saved is None:
+            os.environ.pop(JOBS_ENV, None)
+        else:
+            os.environ[JOBS_ENV] = saved
+
+
+def with_fleet(spec, **overrides):
+    """Replace fleet engine/shard knobs on a fleet or schedule spec."""
+    if spec.schedule is not None:
+        fleet = dataclasses.replace(spec.schedule.fleet, **overrides)
+        return dataclasses.replace(
+            spec, schedule=dataclasses.replace(spec.schedule, fleet=fleet))
+    return dataclasses.replace(
+        spec, fleet=dataclasses.replace(spec.fleet, **overrides))
+
+
+def assert_fleet_results_identical(got, want, what, warmup_s):
+    """Bit-identical fleet summaries and per-cluster history columns."""
+    assert got.fleet.summary(skip_s=warmup_s) == \
+        want.fleet.summary(skip_s=warmup_s), f"{what}: summary diverged"
+    for outcome in want.fleet.clusters:
+        other = got.fleet.cluster(outcome.name)
+        assert len(other.history) == len(outcome.history), (
+            f"{what}: cluster {outcome.name!r} record counts differ")
+        for name in CLUSTER_FIELDS:
+            a = other.history.column(name)
+            b = outcome.history.column(name)
+            assert np.array_equal(a, b), (
+                f"{what}: cluster {outcome.name!r} column {name!r} "
+                f"diverged (max abs diff {np.abs(a - b).max():.3e})")
+    if want.schedule is not None:
+        assert got.schedule.summary() == want.schedule.summary(), (
+            f"{what}: schedule summary diverged")
+
+
+class TestFleetMatrix:
+    """The headline gate: every generated fleet/schedule scenario is
+    bit-identical across engine × shard size × worker count."""
+
+    @given(spec=fleet_like_specs())
+    def test_engine_shard_jobs_identity(self, spec):
+        spec.validate()
+        base = run_with_jobs(spec, 1)
+        variants = (
+            ("sharded shard=1 jobs=1", with_fleet(
+                spec, engine="sharded", shard_leaves=1), 1),
+            ("sharded shard=3 jobs=4", with_fleet(
+                spec, engine="sharded", shard_leaves=3), 4),
+            ("mega jobs=1", with_fleet(spec, engine="mega"), 1),
+        )
+        for what, variant, jobs in variants:
+            got = run_with_jobs(variant, jobs)
+            assert_fleet_results_identical(got, base, what, spec.warmup_s)
+
+
+class TestMemberScenarios:
+    @settings(max_examples=40)
+    @given(spec=member_specs())
+    def test_batch_deterministic_and_matches_scalar(self, spec):
+        spec.validate()
+        batch_spec = dataclasses.replace(spec, engine="batch")
+        first = run_scenario(batch_spec)
+        second = run_scenario(batch_spec)
+        for i, (a, b) in enumerate(zip(first.members, second.members)):
+            assert len(a.history) == len(b.history)
+            for name in MEMBER_FLOAT_FIELDS:
+                assert np.array_equal(a.history.column(name),
+                                      b.history.column(name)), (
+                    f"member {i}: rerun column {name!r} diverged")
+        if len(spec.members) == 1:
+            scalar = run_scenario(dataclasses.replace(spec,
+                                                      engine="scalar"))
+            a = scalar.members[0].history
+            b = first.members[0].history
+            assert len(a) == len(b)
+            for name in MEMBER_FLOAT_FIELDS:
+                np.testing.assert_allclose(
+                    a.column(name), b.column(name), rtol=1e-9, atol=1e-12,
+                    err_msg=f"scalar vs batch: column {name!r} diverged")
+            for name in MEMBER_EXACT_FIELDS:
+                assert [getattr(r, name) for r in a.records] == \
+                    [getattr(r, name) for r in b.records], (
+                    f"scalar vs batch: column {name!r} diverged")
+
+
+class TestClusterScenarios:
+    @settings(max_examples=15)
+    @given(spec=cluster_specs())
+    def test_batch_matches_scalar_bitwise(self, spec):
+        spec.validate()
+        batch = run_scenario(spec, processes=1)
+        scalar = run_scenario(
+            dataclasses.replace(
+                spec, cluster=dataclasses.replace(spec.cluster,
+                                                  engine="scalar")),
+            processes=1)
+        assert batch.root_slo_ms == scalar.root_slo_ms
+        assert batch.cluster_arms.keys() == scalar.cluster_arms.keys()
+        for arm, history in batch.cluster_arms.items():
+            other = scalar.cluster_arms[arm]
+            assert len(history) == len(other)
+            for name in CLUSTER_FIELDS:
+                assert np.array_equal(history.column(name),
+                                      other.column(name)), (
+                    f"arm {arm!r}: column {name!r} diverged")
+
+
+class TestSweepScenarios:
+    @settings(max_examples=10)
+    @given(spec=sweep_specs())
+    def test_pool_matches_serial(self, spec):
+        spec.validate()
+        serial = run_scenario(spec, processes=1)
+        pooled = run_scenario(spec, processes=2)
+        assert serial.sweeps.keys() == pooled.sweeps.keys()
+        for lc_name, grid in serial.sweeps.items():
+            other = pooled.sweeps[lc_name]
+            assert grid.loads == other.loads
+            assert grid.baseline_slo == other.baseline_slo
+            assert grid.results.keys() == other.results.keys()
+            for be_name, cells in grid.results.items():
+                a = [r.history.worst_window_slo(skip_s=spec.warmup_s)
+                     for r in cells]
+                b = [r.history.worst_window_slo(skip_s=spec.warmup_s)
+                     for r in other.results[be_name]]
+                assert a == b, f"{lc_name}/{be_name}: sweep cells diverged"

@@ -450,7 +450,11 @@ class TestExampleSpecs:
 
     def test_injection_example_runs(self):
         spec = load_scenario(os.path.join(EXAMPLES, "late_antagonist.json"))
-        spec = dataclasses.replace(spec, duration_s=400.0, warmup_s=50.0)
+        # Shortening the run must also drop the injections that now
+        # fall outside it: at_s >= duration_s is a validation error.
+        spec = dataclasses.replace(
+            spec, duration_s=400.0, warmup_s=50.0,
+            injections=tuple(i for i in spec.injections if i.at_s < 400.0))
         history = run_scenario(spec).members[0].history
         cores = history.column("be_cores")
         assert cores[100] == 0 and cores[320] == 8
