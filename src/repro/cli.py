@@ -74,6 +74,27 @@ def build_parser() -> argparse.ArgumentParser:
             help="worker processes for sweep fan-out (default: one per "
                  "CPU; 1 forces the serial path)")
 
+    def add_checkpoint(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--checkpoint", metavar="PATH", default=None,
+            help="snapshot the full engine state mid-run to PATH (a "
+                 "directory for fleet/sched scenarios, an .npz archive "
+                 "for member scenarios); requires --checkpoint-at")
+        p.add_argument(
+            "--checkpoint-at", type=float, default=None, metavar="T",
+            help="simulated time of the --checkpoint snapshot, in "
+                 "seconds (must land inside the run)")
+        p.add_argument(
+            "--resume", metavar="PATH", default=None,
+            help="warm-start from a checkpoint written by a previous "
+                 "run of this scenario; bit-identical to running from "
+                 "t=0")
+        p.add_argument(
+            "--spill-dir", metavar="DIR", default=None,
+            help="stream full telemetry chunks to .npy files under DIR "
+                 "so history memory is bounded by chunk size, not run "
+                 "length")
+
     for name in sorted(EXPERIMENTS) + ["all"]:
         p = sub.add_parser(name)
         add_jobs(p)
@@ -107,6 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument(
         "--seed", type=int, default=None,
         help="override the scenario's base seed")
+    add_checkpoint(scenario)
 
     fleet = sub.add_parser(
         "fleet",
@@ -131,6 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=("sharded", "mega"), default=None,
         help="override the fleet engine (sharded pool fan-out vs the "
              "in-process mega array engine; identical telemetry)")
+    add_checkpoint(fleet)
 
     sched = sub.add_parser(
         "sched",
@@ -164,6 +187,7 @@ def build_parser() -> argparse.ArgumentParser:
     sched.add_argument(
         "--no-compare", action="store_true",
         help="skip the policy-vs-static comparison replay")
+    add_checkpoint(sched)
     return parser
 
 
@@ -209,6 +233,26 @@ def _resolve_scenario_spec(name_or_file: str):
     return registry.get(name_or_file)  # raises with the names
 
 
+def _apply_checkpoint_args(args: argparse.Namespace, spec):
+    """Fold ``--checkpoint/--checkpoint-at/--resume/--spill-dir`` into
+    the spec's ``checkpoint`` stanza (CLI flags win field-by-field)."""
+    import dataclasses
+
+    from .scenarios import CheckpointSpec
+    overrides = {name: value for name, value in (
+        ("save", args.checkpoint), ("at_s", args.checkpoint_at),
+        ("resume", args.resume), ("spill_dir", args.spill_dir))
+        if value is not None}
+    if not overrides:
+        return spec
+    if spec.checkpoint is not None:
+        ckpt = dataclasses.replace(spec.checkpoint, **overrides)
+    else:
+        ckpt = CheckpointSpec(**overrides)
+    ckpt.validate("checkpoint")
+    return dataclasses.replace(spec, checkpoint=ckpt)
+
+
 def _run_scenario_command(args: argparse.Namespace) -> int:
     """Handle ``repro scenario [name-or-file] [--list] [--seed N]``."""
     import dataclasses
@@ -225,6 +269,7 @@ def _run_scenario_command(args: argparse.Namespace) -> int:
         spec = _resolve_scenario_spec(args.scenario)
         if args.seed is not None:
             spec = dataclasses.replace(spec, seed=args.seed)
+        spec = _apply_checkpoint_args(args, spec)
         result = compile_scenario(spec).run()
     except ScenarioError as exc:
         raise SystemExit(f"scenario: {exc}") from exc
@@ -273,6 +318,7 @@ def _run_fleet_command(args: argparse.Namespace) -> int:
             spec = dataclasses.replace(
                 spec, fleet=dataclasses.replace(spec.fleet,
                                                 engine=args.engine))
+        spec = _apply_checkpoint_args(args, spec)
         result = compile_scenario(spec).run()
     except ScenarioError as exc:
         raise SystemExit(f"fleet: {exc}") from exc
@@ -320,6 +366,7 @@ def _run_sched_command(args: argparse.Namespace) -> int:
             spec = dataclasses.replace(
                 spec, schedule=dataclasses.replace(spec.schedule,
                                                    **overrides))
+        spec = _apply_checkpoint_args(args, spec)
         result = compile_scenario(spec).run()
     except ScenarioError as exc:
         raise SystemExit(f"sched: {exc}") from exc

@@ -35,6 +35,22 @@ from .state import ControlState
 from .top_level import TopLevelController
 
 
+class SimBeThroughputProbe:
+    """Picklable BE-throughput probe bound to one colocation sim.
+
+    The checkpoint layer (:mod:`repro.sim.checkpoint`) pickles whole
+    engines, controllers included; a local closure over ``sim`` would
+    break that, so the probe is a module-level callable instead.
+    """
+
+    def __init__(self, sim: ColocationSim):
+        self._sim = sim
+
+    def __call__(self) -> float:
+        monitor = self._sim.be_monitor
+        return monitor.last_normalized if monitor is not None else 0.0
+
+
 class HeraclesController:
     """Coordinated dynamic management of four isolation mechanisms."""
 
@@ -108,10 +124,6 @@ class HeraclesController:
                     int(hot_per_socket / mb_per_way) + 2)
         sim.actuators.min_lc_llc_ways = max(1, floor)
 
-        def be_throughput() -> float:
-            return (sim.be_monitor.last_normalized
-                    if sim.be_monitor is not None else 0.0)
-
         controller = cls(
             config=config,
             actuators=sim.actuators,
@@ -122,7 +134,7 @@ class HeraclesController:
             guaranteed_freq_ghz=guaranteed,
             lc_task=lc.name,
             be_task=sim.be.name,
-            be_throughput_fn=be_throughput,
+            be_throughput_fn=SimBeThroughputProbe(sim),
         )
         sim.attach_controller(controller)
         return controller

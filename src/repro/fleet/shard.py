@@ -29,7 +29,7 @@ reference engine.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -129,6 +129,14 @@ class ShardTask:
             (:class:`~repro.sim.chaos.ChaosEvent` tuples), with member
             targets already rebased to shard-local indices by the
             fleet's task builder.
+        checkpoint_path / checkpoint_at_s: snapshot the shard's full
+            state (engine pickle + collected telemetry prefix) to this
+            archive after the tick reaching ``checkpoint_at_s``.
+        resume_path: restore such an archive and continue from the
+            saved tick instead of building the shard from scratch;
+            results are bit-identical to the uninterrupted run.
+        spill_dir: bound the shard engine's resident history memory by
+            chunked spill-to-disk under this (shard-private) directory.
     """
 
     cluster: str
@@ -148,6 +156,10 @@ class ShardTask:
     dt_s: float
     collect_be: bool = False
     events: Tuple = ()
+    checkpoint_path: "Optional[str]" = None
+    checkpoint_at_s: "Optional[float]" = None
+    resume_path: "Optional[str]" = None
+    spill_dir: "Optional[str]" = None
 
     @property
     def leaves(self) -> int:
@@ -222,30 +234,64 @@ def run_shard(task: ShardTask) -> ShardResult:
         raise ValueError(
             f"shard [{task.leaf_lo}, {task.leaf_hi}) falls outside the "
             f"cluster's {task.total_leaves}-leaf population")
-    spec = task.spec
-    lc = make_leaf_lc(spec, task.leaf_slo_ms, lc_name=task.lc_name)
-    be_names = [task.be_mix[i % len(task.be_mix)]
-                for i in range(task.leaf_lo, task.leaf_hi)]
-    be_by_name = {name: make_be_workload(name, spec)
-                  for name in sorted(set(be_names))}
-    batch = BatchColocationSim(
-        lc=lc, trace=task.trace,
-        bes=[be_by_name[name] for name in be_names],
-        spec=spec,
-        seeds=[task.seed * 1000 + i
-               for i in range(task.leaf_lo, task.leaf_hi)],
-        record_history=False)
-    if task.events:
-        batch.set_chaos_events(task.events)
-    if task.managed:
-        # One offline model per (LC, machine) pair per worker process;
-        # profiling is deterministic, so every process derives the same
-        # model the monolithic cluster would share across its leaves.
-        model = memoized_dram_model(task.lc_name, spec)
-        for member in batch.members:
-            HeraclesController.for_sim(member, dram_model=model)
-
     steps = int(round(task.duration_s / task.dt_s))
+    k0 = 0
+    if task.resume_path is not None:
+        from ..sim.checkpoint import CheckpointError, load_engine
+        restored = load_engine(task.resume_path, expect_kind="shard")
+        meta = restored.meta
+        mismatch = [
+            what for what, got, want in (
+                ("cluster", meta.get("cluster"), task.cluster),
+                ("shard_index", meta.get("shard_index"),
+                 task.shard_index),
+                ("leaf range", (meta.get("leaf_lo"), meta.get("leaf_hi")),
+                 (task.leaf_lo, task.leaf_hi)),
+                ("dt_s", meta.get("dt_s"), task.dt_s),
+                ("collect_be", bool(meta.get("collect_be")),
+                 bool(task.collect_be)),
+            ) if got != want]
+        if mismatch:
+            raise CheckpointError(
+                f"{task.resume_path}: checkpoint does not match this "
+                f"shard task (differs in {', '.join(mismatch)})")
+        k0 = int(meta["steps_done"])
+        if k0 > steps:
+            raise CheckpointError(
+                f"{task.resume_path}: holds {k0} completed ticks but "
+                f"the resumed run is only {steps} ticks long")
+        batch = restored.sim
+    else:
+        spec = task.spec
+        lc = make_leaf_lc(spec, task.leaf_slo_ms, lc_name=task.lc_name)
+        be_names = [task.be_mix[i % len(task.be_mix)]
+                    for i in range(task.leaf_lo, task.leaf_hi)]
+        be_by_name = {name: make_be_workload(name, spec)
+                      for name in sorted(set(be_names))}
+        batch = BatchColocationSim(
+            lc=lc, trace=task.trace,
+            bes=[be_by_name[name] for name in be_names],
+            spec=spec,
+            seeds=[task.seed * 1000 + i
+                   for i in range(task.leaf_lo, task.leaf_hi)],
+            record_history=False,
+            spill_dir=task.spill_dir)
+        if task.events:
+            batch.set_chaos_events(task.events)
+        if task.managed:
+            # One offline model per (LC, machine) pair per worker
+            # process; profiling is deterministic, so every process
+            # derives the same model the monolithic cluster would share
+            # across its leaves.
+            model = memoized_dram_model(task.lc_name, spec)
+            for member in batch.members:
+                HeraclesController.for_sim(member, dram_model=model)
+
+    k_save = None
+    if task.checkpoint_path is not None and task.checkpoint_at_s is not None:
+        from ..sim.checkpoint import checkpoint_step
+        k_save = checkpoint_step(task.checkpoint_at_s, task.duration_s,
+                                 task.dt_s)
     times = np.empty(steps)
     tails = np.empty((steps, n))
     emus = np.empty((steps, n))
@@ -254,7 +300,17 @@ def run_shard(task: ShardTask) -> ShardResult:
         be_cores = np.empty((steps, n))
     else:
         be_norm = be_cores = np.zeros((0, 0))
-    for k in range(steps):
+    if k0:
+        times[:k0] = restored.arrays["times"]
+        tails[:k0] = restored.arrays["tails"]
+        emus[:k0] = restored.arrays["emus"]
+        if task.collect_be:
+            be_norm[:k0] = restored.arrays["be_norm"]
+            # be_cores lands one tick late (see the loop below), so the
+            # checkpoint carries one row fewer; resuming tick k0
+            # rewrites row k0-1 from the restored actuator state.
+            be_cores[:k0 - 1] = restored.arrays["be_cores"]
+    for k in range(k0, steps):
         result = batch.tick(task.dt_s)
         times[k] = result.t_s
         tails[k] = result.tail_latency_ms
@@ -269,6 +325,25 @@ def run_shard(task: ShardTask) -> ShardResult:
             # per-member property loop on every tick.
             if k:
                 be_cores[k - 1] = batch._gathered_be_cores
+        if k_save is not None and k + 1 == k_save:
+            from ..sim.checkpoint import save_engine
+            done = k + 1
+            arrays = {"times": times[:done], "tails": tails[:done],
+                      "emus": emus[:done]}
+            if task.collect_be:
+                arrays["be_norm"] = be_norm[:done]
+                # Row done-1 is unwritten until tick done gathers it;
+                # save the rows that exist and let the resumed tick
+                # rewrite the gap deterministically.
+                arrays["be_cores"] = be_cores[:done - 1]
+            save_engine(
+                batch, task.checkpoint_path, kind="shard", arrays=arrays,
+                extra_meta={"steps_done": done, "cluster": task.cluster,
+                            "shard_index": task.shard_index,
+                            "leaf_lo": task.leaf_lo,
+                            "leaf_hi": task.leaf_hi,
+                            "dt_s": task.dt_s,
+                            "collect_be": bool(task.collect_be)})
     if steps and task.collect_be:
         # The final row has no following tick to gather it; one direct
         # (single, not per-tick) actuator read closes the shift.

@@ -35,11 +35,14 @@ Typical use::
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..cluster.cluster import ClusterHistory, cluster_slo_targets
 from ..hardware.spec import MachineSpec, default_machine_spec
+from ..sim.checkpoint import CheckpointError, checkpoint_step
 from ..sim.runner import run_sweep
 from ..workloads.best_effort import BE_PROFILES
 from ..workloads.latency_critical import LC_PROFILES
@@ -54,6 +57,13 @@ from .shard import (ShardResult, ShardTask, overlapping_seed_ranges,
 #: amortizes the per-tick fixed cost, small enough that a typical
 #: worker pool gets several shards per core to balance.
 DEFAULT_SHARD_LEAVES = 64
+
+#: Manifest file written into a fleet checkpoint directory alongside
+#: the per-shard (or per-mega-group) engine archives.  Resuming
+#: validates the manifest against the live fleet before any archive is
+#: unpickled, so a checkpoint taken with a different topology fails
+#: with a message naming the mismatch.
+FLEET_META_NAME = "meta.json"
 
 
 @dataclass(frozen=True)
@@ -265,9 +275,58 @@ class ShardedFleetSim:
         return {plan.name: partition_leaves(plan.leaves, self.shard_leaves)
                 for plan in self.clusters}
 
+    @staticmethod
+    def shard_archive(checkpoint_dir: str, cluster_index: int,
+                      shard_index: int) -> str:
+        """Deterministic archive path for one shard of a fleet snapshot."""
+        return os.path.join(checkpoint_dir,
+                            f"shard_{cluster_index}_{shard_index}.npz")
+
+    def _fleet_meta(self, dt_s: float, checkpoint_at_s: float,
+                    collect_be: bool) -> Dict[str, Any]:
+        """The manifest describing a fleet checkpoint directory."""
+        return {
+            "version": 1,
+            "engine": self.engine,
+            "dt_s": float(dt_s),
+            "checkpoint_t_s": float(checkpoint_at_s),
+            "collect_be": bool(collect_be),
+            "shard_leaves": self.shard_leaves,
+            "clusters": [{"name": plan.name, "leaves": plan.leaves,
+                          "seed": plan.seed} for plan in self.clusters],
+        }
+
+    def _load_fleet_meta(self, resume_from: str, dt_s: float,
+                         collect_be: bool) -> Dict[str, Any]:
+        """Read and validate a checkpoint manifest against this fleet."""
+        meta_path = os.path.join(resume_from, FLEET_META_NAME)
+        try:
+            with open(meta_path, "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(
+                f"cannot read fleet checkpoint manifest {meta_path}: "
+                f"{exc}")
+        expected = self._fleet_meta(dt_s, meta.get("checkpoint_t_s", 0.0),
+                                    collect_be)
+        for key in ("version", "engine", "dt_s", "collect_be",
+                    "shard_leaves", "clusters"):
+            if meta.get(key) != expected[key]:
+                raise CheckpointError(
+                    f"{meta_path}: checkpoint {key}={meta.get(key)!r} "
+                    f"does not match this fleet's {expected[key]!r}; a "
+                    f"snapshot only resumes under the engine, tick size, "
+                    f"sharding, slack mode, and cluster plans that wrote "
+                    f"it")
+        return meta
+
     def _tasks(self, duration_s: float, dt_s: float,
                targets: Dict[str, Tuple[float, float]],
-               collect_be: bool = False) -> List[ShardTask]:
+               collect_be: bool = False,
+               checkpoint_dir: Optional[str] = None,
+               checkpoint_at_s: Optional[float] = None,
+               resume_from: Optional[str] = None,
+               spill_dir: Optional[str] = None) -> List[ShardTask]:
         """Materialize the picklable shard work units."""
         tasks = []
         for index, plan in enumerate(self.clusters):
@@ -296,12 +355,23 @@ class ShardedFleetSim:
                     be_mix=tuple(plan.be_mix), leaf_slo_ms=leaf_slo_ms,
                     spec=spec, trace=plan.trace, managed=plan.managed,
                     seed=plan.seed, duration_s=duration_s, dt_s=dt_s,
-                    collect_be=collect_be, events=tuple(events)))
+                    collect_be=collect_be, events=tuple(events),
+                    checkpoint_path=None if checkpoint_dir is None else
+                    self.shard_archive(checkpoint_dir, index, shard_index),
+                    checkpoint_at_s=checkpoint_at_s,
+                    resume_path=None if resume_from is None else
+                    self.shard_archive(resume_from, index, shard_index),
+                    spill_dir=None if spill_dir is None else os.path.join(
+                        spill_dir, f"shard_{index}_{shard_index}")))
         return tasks
 
     def run(self, duration_s: float, dt_s: float = 1.0,
             processes: Optional[int] = None,
-            slack_epoch_s: Optional[float] = None) -> FleetResult:
+            slack_epoch_s: Optional[float] = None,
+            checkpoint_dir: Optional[str] = None,
+            checkpoint_at_s: Optional[float] = None,
+            resume_from: Optional[str] = None,
+            spill_dir: Optional[str] = None) -> FleetResult:
         """Run the whole fleet and roll up its telemetry.
 
         Args:
@@ -318,6 +388,23 @@ class ShardedFleetSim:
                 granularity (the scheduler hook).  ``None`` keeps the
                 plain fleet run — no extra telemetry, bit-identical to
                 what this method always produced.
+            checkpoint_dir: when given (with ``checkpoint_at_s``),
+                snapshot every shard's full engine state mid-run into
+                this directory — per-shard ``.npz`` archives plus a
+                :data:`FLEET_META_NAME` manifest — so a later run can
+                resume (or branch several what-ifs) from ``t =
+                checkpoint_at_s`` instead of ``t = 0``.
+            checkpoint_at_s: simulated time of the snapshot; must land
+                on a tick strictly inside the run.
+            resume_from: a checkpoint directory written by a previous
+                run of this same fleet; the run warm-starts every shard
+                from its archive and only ticks the remaining steps.
+                The result is bit-identical to running from ``t = 0``.
+            spill_dir: bound telemetry memory by streaming full history
+                chunks to ``.npy`` files under this directory (one
+                subdirectory per shard).  The mega engine collects its
+                telemetry in dense arrays, not column stores, so this
+                only affects the sharded path.
 
         Returns:
             The populated :class:`FleetResult`.
@@ -328,13 +415,30 @@ class ShardedFleetSim:
             raise ValueError("dt must be positive")
         if slack_epoch_s is not None and slack_epoch_s <= 0:
             raise ValueError("slack_epoch_s must be positive")
+        if (checkpoint_dir is None) != (checkpoint_at_s is None):
+            raise CheckpointError(
+                "checkpoint_dir and checkpoint_at_s go together: give "
+                "both to take a snapshot, neither to skip it")
+        collect_be = slack_epoch_s is not None
+        k_save = None
+        if checkpoint_dir is not None:
+            k_save = checkpoint_step(checkpoint_at_s, duration_s, dt_s)
+        if resume_from is not None:
+            resume_meta = self._load_fleet_meta(resume_from, dt_s,
+                                                collect_be)
+            k_done = int(round(resume_meta["checkpoint_t_s"] / dt_s))
+            if k_save is not None and k_save <= k_done:
+                raise CheckpointError(
+                    f"checkpoint at t={checkpoint_at_s}s lands at or "
+                    f"before the resumed snapshot "
+                    f"(t={resume_meta['checkpoint_t_s']}s); a resumed "
+                    f"run can only checkpoint further ahead")
         targets = {
             plan.name: cluster_slo_targets(
                 plan.spec or default_machine_spec(), plan.leaves,
                 lc_name=plan.lc_name)
             for plan in self.clusters
         }
-        collect_be = slack_epoch_s is not None
         if self.engine == "mega":
             # One in-process array program for the whole fleet; the
             # shard fan-out (and its pool) is bypassed entirely.  Each
@@ -342,11 +446,29 @@ class ShardedFleetSim:
             # ShardResult, so the roll-up below is shared verbatim.
             from ..sim.megabatch import run_mega_fleet
             results = run_mega_fleet(self.clusters, targets, duration_s,
-                                     dt_s=dt_s, collect_be=collect_be)
+                                     dt_s=dt_s, collect_be=collect_be,
+                                     checkpoint_dir=checkpoint_dir,
+                                     checkpoint_at_s=checkpoint_at_s,
+                                     resume_from=resume_from)
         else:
             tasks = self._tasks(duration_s, dt_s, targets,
-                                collect_be=collect_be)
+                                collect_be=collect_be,
+                                checkpoint_dir=checkpoint_dir,
+                                checkpoint_at_s=checkpoint_at_s,
+                                resume_from=resume_from,
+                                spill_dir=spill_dir)
             results = run_sweep(run_shard, tasks, processes=processes)
+        if checkpoint_dir is not None:
+            # The manifest is written last, once every shard archive
+            # exists — a directory with a manifest is a complete,
+            # resumable snapshot; one without is a partial write.
+            os.makedirs(checkpoint_dir, exist_ok=True)
+            meta_path = os.path.join(checkpoint_dir, FLEET_META_NAME)
+            with open(meta_path, "w", encoding="utf-8") as handle:
+                json.dump(self._fleet_meta(dt_s, checkpoint_at_s,
+                                           collect_be),
+                          handle, indent=2, sort_keys=True)
+                handle.write("\n")
 
         by_cluster: Dict[str, List[ShardResult]] = {}
         for result in results:

@@ -72,6 +72,10 @@ class RecordSeries:
         """(T,) view of one field in its storage dtype."""
         raise NotImplementedError
 
+    def _raw_chunks(self, name: str):
+        """Iterator of (rows,) chunks of one field in storage dtype."""
+        raise NotImplementedError
+
     def __len__(self) -> int:
         """Number of recorded ticks."""
         raise NotImplementedError
@@ -92,6 +96,26 @@ class RecordSeries:
     def times(self) -> np.ndarray:
         """Per-sample timestamps of the recorded run, shape (T,)."""
         return self.column(self.TIME_FIELD)
+
+    def column_chunks(self, name: str):
+        """Stream one field as ``float64`` chunks, without materializing.
+
+        For spilled histories each chunk arrives memory-mapped (see
+        :meth:`~repro.metrics.columns.ColumnStore.column_chunks`), so
+        the streaming aggregates in :mod:`repro.metrics.windows` run
+        with peak RSS bounded by the chunk size; in-RAM histories yield
+        their single live view.
+        """
+        for chunk in self._raw_chunks(name):
+            if chunk.dtype == np.float64:
+                yield chunk
+            else:
+                yield chunk.astype(np.float64)
+
+    def chunk_pairs(self, name: str):
+        """(values, times) chunk pairs for the streaming aggregates."""
+        return zip(self.column_chunks(name),
+                   self.column_chunks(self.TIME_FIELD))
 
     # -- record materialization -----------------------------------------
 
@@ -118,9 +142,15 @@ class RecordSeries:
         """The run as a list of records (materialized on demand).
 
         A snapshot for iteration and inspection; mutating the returned
-        list does not modify the history.
+        list does not modify the history.  Each column is fetched once
+        for the whole list — per-index fetches would re-materialize
+        spilled columns from their chunk files O(T) times.
         """
-        return [self._record(i) for i in range(len(self))]
+        names = self.field_names()
+        columns = {name: self._raw_column(name) for name in names}
+        return [self.RECORD_TYPE(**{
+            name: self._decode(name, columns[name][i]) for name in names})
+            for i in range(len(self))]
 
     def last(self):
         """The most recent tick's record."""
@@ -139,10 +169,18 @@ class RecordSeries:
 
 
 class ColumnarHistory(RecordSeries):
-    """A :class:`RecordSeries` that owns its :class:`ColumnStore`."""
+    """A :class:`RecordSeries` that owns its :class:`ColumnStore`.
 
-    def __init__(self):
-        self._store = ColumnStore(self.field_dtypes())
+    ``spill_dir`` / ``spill_chunk_rows`` pass straight through to the
+    store (see :class:`~repro.metrics.columns.ColumnStore`): when set,
+    full chunks of history flush to disk and resident memory stays
+    bounded by the chunk size.
+    """
+
+    def __init__(self, spill_dir=None, spill_chunk_rows=None):
+        self._store = ColumnStore(self.field_dtypes(),
+                                  spill_dir=spill_dir,
+                                  spill_chunk_rows=spill_chunk_rows)
 
     @property
     def store(self) -> ColumnStore:
@@ -157,6 +195,10 @@ class ColumnarHistory(RecordSeries):
     def _raw_column(self, name: str) -> np.ndarray:
         """(T,) view straight from the owned store."""
         return self._store.raw_column(name)
+
+    def _raw_chunks(self, name: str):
+        """Chunk stream straight from the owned store."""
+        return self._store.column_chunks(name)
 
     def __len__(self) -> int:
         """Number of recorded ticks."""
@@ -183,6 +225,10 @@ class BatchMemberSeries(RecordSeries):
     def _raw_column(self, name: str) -> np.ndarray:
         """(T,) member slice (shared columns come back as-is)."""
         return self._batch_store.member_column(name, self._index)
+
+    def _raw_chunks(self, name: str):
+        """Member-slice chunk stream from the shared store."""
+        return self._batch_store.member_column_chunks(name, self._index)
 
     def __len__(self) -> int:
         """Number of recorded ticks."""

@@ -29,14 +29,16 @@ from .compiler import (CompiledScenario, InjectionSchedule, MemberResult,
                        ScenarioResult, SweepGrid, compile_scenario,
                        run_scenario)
 from .loader import load_scenario, loads_scenario, parse_simple_yaml
-from .spec import (CONTROLLERS, ENGINES, INJECTION_ACTIONS, ClusterSpec,
-                   FleetSpec, InjectionSpec, JobSpec, ScenarioError,
-                   ScenarioSpec, ScheduleSpec, ServerSpec, ShardSpec,
-                   SpikeSpec, SweepSpec, TraceSpec, WorkloadSpec)
+from .spec import (CONTROLLERS, ENGINES, INJECTION_ACTIONS,
+                   CheckpointSpec, ClusterSpec, FleetSpec, InjectionSpec,
+                   JobSpec, ScenarioError, ScenarioSpec, ScheduleSpec,
+                   ServerSpec, ShardSpec, SpikeSpec, SweepSpec, TraceSpec,
+                   WorkloadSpec)
 
 __all__ = [
     "CONTROLLERS", "ENGINES", "INJECTION_ACTIONS",
-    "ClusterSpec", "FleetSpec", "InjectionSpec", "JobSpec",
+    "CheckpointSpec", "ClusterSpec", "FleetSpec", "InjectionSpec",
+    "JobSpec",
     "ScenarioError", "ScenarioSpec", "ScheduleSpec", "ServerSpec",
     "ShardSpec", "SpikeSpec", "SweepSpec", "TraceSpec", "WorkloadSpec",
     "CompiledScenario", "InjectionSchedule", "MemberResult",

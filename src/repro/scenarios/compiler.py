@@ -46,6 +46,8 @@ from ..sched import ScheduleOutcome, run_schedule, tco_summary
 from ..sim.actuators import Actuators
 from ..sim.batch import BatchColocationSim
 from ..sim.chaos import ChaosEvent
+from ..sim.checkpoint import (checkpoint_step, completed_steps, load_engine,
+                              run_ticks, save_engine)
 from ..sim.engine import ColocationSim, Controller, SimHistory
 from ..sim.runner import memoized_dram_model, run_sweep
 from ..workloads.best_effort import make_be_workload
@@ -313,6 +315,8 @@ class CompiledScenario:
                 runner grids instead of a single simulation object.
         """
         spec = self.spec
+        spill_dir = spec.checkpoint.spill_dir \
+            if spec.checkpoint is not None else None
         if self.kind == "single":
             member = spec.members[0]
             sim = ColocationSim(
@@ -321,7 +325,8 @@ class CompiledScenario:
                 be=(make_be_workload(member.be, self.machine)
                     if member.be else None),
                 spec=self.machine,
-                seed=spec.member_seed(0))
+                seed=spec.member_seed(0),
+                spill_dir=spill_dir)
             self._attach(sim, member.lc, member.be,
                          spec.member_controller(0), index=0)
             chaos = [_chaos_event(inj) for inj in spec.injections
@@ -340,7 +345,8 @@ class CompiledScenario:
             seeds = [spec.member_seed(i) for i in range(len(spec.members))]
             batch = BatchColocationSim(
                 lc=lcs, trace=traces, bes=bes, spec=self.machine,
-                seeds=seeds, n=len(spec.members), record_history=True)
+                seeds=seeds, n=len(spec.members), record_history=True,
+                spill_dir=spill_dir)
             for i, member in enumerate(spec.members):
                 self._attach(batch.members[i], member.lc, member.be,
                              spec.member_controller(i), index=i)
@@ -399,8 +405,12 @@ class CompiledScenario:
 
     def _run_members(self) -> ScenarioResult:
         spec = self.spec
-        sim = self.build()
-        sim.run(spec.duration_s, dt_s=spec.dt_s)
+        ckpt = spec.checkpoint
+        if ckpt is None:
+            sim = self.build()
+            sim.run(spec.duration_s, dt_s=spec.dt_s)
+        else:
+            sim = self._run_members_checkpointed()
         result = ScenarioResult(spec=spec, kind=self.kind)
         sims = sim.members if isinstance(sim, BatchColocationSim) else [sim]
         for i, member_sim in enumerate(sims):
@@ -412,6 +422,43 @@ class CompiledScenario:
                 history=member_sim.history,
                 warmup_s=spec.warmup_s))
         return result
+
+    def _run_members_checkpointed(self):
+        """Run a member scenario in checkpoint-aware tick segments.
+
+        Segment boundaries are integer ticks (never duration halves —
+        see :mod:`repro.sim.checkpoint`), so a resumed or snapshotting
+        run replays the exact tick sequence a straight ``sim.run``
+        executes and stays bit-identical to it.
+        """
+        spec = self.spec
+        ckpt = spec.checkpoint
+        expect = "batch" if self.kind == "batch" else "single"
+        total = int(round(spec.duration_s / spec.dt_s))
+        if ckpt.resume is not None:
+            restored = load_engine(ckpt.resume, expect_kind=expect)
+            sim = restored.sim
+            done = completed_steps(sim, spec.dt_s)
+            if done > total:
+                raise ScenarioError(
+                    f"checkpoint.resume: snapshot holds {done} completed "
+                    f"tick(s), past this scenario's {total}-tick run "
+                    f"(duration_s={spec.duration_s}, dt_s={spec.dt_s})")
+        else:
+            sim = self.build()
+            done = 0
+        if ckpt.save is not None:
+            k_save = checkpoint_step(ckpt.at_s, spec.duration_s, spec.dt_s)
+            if k_save <= done:
+                raise ScenarioError(
+                    f"checkpoint.at_s: snapshot at {ckpt.at_s} s lands at "
+                    f"or before the resumed snapshot; a resumed run can "
+                    f"only checkpoint further ahead")
+            run_ticks(sim, k_save - done, spec.dt_s)
+            save_engine(sim, ckpt.save, kind=expect)
+            done = k_save
+        run_ticks(sim, total - done, spec.dt_s)
+        return sim
 
     def _run_sweep(self, processes: Optional[int]) -> ScenarioResult:
         spec = self.spec
@@ -470,11 +517,20 @@ class CompiledScenario:
             record_period_s=fleet_spec.record_period_s,
             engine=fleet_spec.engine)
 
+    def _fleet_run_kwargs(self) -> Dict[str, Optional[str]]:
+        """Checkpoint/resume/spill kwargs for a fleet-shaped run."""
+        ckpt = self.spec.checkpoint
+        if ckpt is None:
+            return {}
+        return dict(checkpoint_dir=ckpt.save, checkpoint_at_s=ckpt.at_s,
+                    resume_from=ckpt.resume, spill_dir=ckpt.spill_dir)
+
     def _run_fleet(self, processes: Optional[int]) -> ScenarioResult:
         spec = self.spec
         fleet = self._build_fleet(spec.fleet)
         outcome = fleet.run(spec.duration_s, dt_s=spec.dt_s,
-                            processes=processes)
+                            processes=processes,
+                            **self._fleet_run_kwargs())
         return ScenarioResult(spec=spec, kind="fleet", fleet=outcome)
 
     def _run_schedule(self, processes: Optional[int]) -> ScenarioResult:
@@ -483,7 +539,8 @@ class CompiledScenario:
         fleet = self._build_fleet(schedule.fleet)
         outcome = fleet.run(spec.duration_s, dt_s=spec.dt_s,
                             processes=processes,
-                            slack_epoch_s=schedule.epoch_s)
+                            slack_epoch_s=schedule.epoch_s,
+                            **self._fleet_run_kwargs())
         scheduled = run_schedule(outcome.slack, schedule.expand_jobs(),
                                  policy=schedule.policy,
                                  queue_limit=schedule.queue_limit)

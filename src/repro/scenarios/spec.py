@@ -942,6 +942,76 @@ class ScheduleSpec:
 
 
 @dataclass(frozen=True)
+class CheckpointSpec:
+    """Checkpoint/resume and telemetry-spill controls for a run.
+
+    One stanza drives three independent long-horizon knobs (give at
+    least one — an empty stanza is rejected rather than silently
+    ignored):
+
+    Args:
+        save: checkpoint destination — snapshot the full engine state
+            mid-run so a later scenario run can warm-start from it.
+            A directory for fleet/schedule scenarios (one archive per
+            shard plus a manifest), a single ``.npz`` archive path for
+            member scenarios (all members ride in one engine).
+            Requires ``at_s``.
+        at_s: simulated time of the snapshot; must land on a tick
+            strictly inside the run.
+        resume: a checkpoint written by a previous run of this same
+            scenario shape; the run restores every engine and ticks
+            only the remaining steps.  Bit-identical to running from
+            ``t = 0``.
+        spill_dir: bound telemetry memory by streaming full history
+            chunks to ``.npy`` files under this directory instead of
+            growing RAM with the horizon.
+    """
+
+    save: Optional[str] = None
+    at_s: Optional[float] = None
+    resume: Optional[str] = None
+    spill_dir: Optional[str] = None
+
+    _FIELDS = ("save", "at_s", "resume", "spill_dir")
+    _PATH_FIELDS = ("save", "resume", "spill_dir")
+
+    @classmethod
+    def from_dict(cls, data: Any, ctx: str = "checkpoint") -> "CheckpointSpec":
+        """Build from a mapping, rejecting unknown fields."""
+        data = _require_mapping(data, ctx)
+        _reject_unknown(data, cls._FIELDS, ctx)
+        kwargs: Dict[str, Any] = {}
+        for name in cls._PATH_FIELDS:
+            value = data.get(name)
+            if value is None:
+                continue
+            if not isinstance(value, str) or not value:
+                raise ScenarioError(f"{ctx}.{name}: expected a non-empty "
+                                    f"path string, got {value!r}")
+            kwargs[name] = value
+        if data.get("at_s") is not None:
+            kwargs["at_s"] = _number(data["at_s"], f"{ctx}.at_s")
+        spec = cls(**kwargs)
+        spec.validate(ctx)
+        return spec
+
+    def validate(self, ctx: str = "checkpoint") -> None:
+        """Check the save/at_s pairing and value ranges."""
+        if all(getattr(self, name) is None for name in self._FIELDS):
+            raise ScenarioError(
+                f"{ctx}: an empty checkpoint stanza does nothing; give "
+                f"'save' + 'at_s', 'resume', and/or 'spill_dir'")
+        if (self.save is None) != (self.at_s is None):
+            raise ScenarioError(
+                f"{ctx}: 'save' and 'at_s' go together — give both to "
+                f"take a snapshot, neither to skip it")
+        if self.at_s is not None:
+            if not math.isfinite(self.at_s) or self.at_s <= 0:
+                raise ScenarioError(f"{ctx}.at_s: must be a positive time "
+                                    f"inside the run, got {self.at_s!r}")
+
+
+@dataclass(frozen=True)
 class InjectionSpec:
     """A timed event applied mid-run to members or fleet leaves.
 
@@ -1080,6 +1150,9 @@ class ScenarioSpec:
         injections: timed actuator pokes and chaos events, applied to
             members (member scenarios) or fleet leaves (fleet/schedule
             scenarios), optionally targeted via ``cluster``/``leaf``.
+        checkpoint: checkpoint/resume and telemetry-spill controls
+            (member, fleet, and schedule scenarios; sweeps and
+            miniclusters reject the stanza rather than ignore it).
     """
 
     name: str
@@ -1097,10 +1170,11 @@ class ScenarioSpec:
     fleet: Optional[FleetSpec] = None
     schedule: Optional[ScheduleSpec] = None
     injections: Tuple[InjectionSpec, ...] = ()
+    checkpoint: Optional[CheckpointSpec] = None
 
     _FIELDS = ("name", "description", "server", "controller", "duration_s",
                "dt_s", "warmup_s", "seed", "engine", "members", "sweep",
-               "cluster", "fleet", "schedule", "injections")
+               "cluster", "fleet", "schedule", "injections", "checkpoint")
 
     @classmethod
     def from_dict(cls, data: Any, ctx: str = "scenario") -> "ScenarioSpec":
@@ -1160,6 +1234,9 @@ class ScenarioSpec:
             kwargs["injections"] = tuple(
                 InjectionSpec.from_dict(inj, f"{ctx}.injections[{i}]")
                 for i, inj in enumerate(injections))
+        if "checkpoint" in data and data["checkpoint"] is not None:
+            kwargs["checkpoint"] = CheckpointSpec.from_dict(
+                data["checkpoint"], f"{ctx}.checkpoint")
         spec = cls(**kwargs)
         spec.validate(ctx)
         return spec
@@ -1207,6 +1284,21 @@ class ScenarioSpec:
                 f"always run sharded batches)")
         fleet_like = self.fleet if self.fleet is not None else (
             self.schedule.fleet if self.schedule is not None else None)
+        if self.checkpoint is not None:
+            if not self.members and fleet_like is None:
+                raise ScenarioError(
+                    f"{ctx}.checkpoint: checkpointing applies to "
+                    f"'members', 'fleet' and 'schedule' scenarios; sweep "
+                    f"cells and minicluster arms are short independent "
+                    f"runs with nothing to resume")
+            self.checkpoint.validate(f"{ctx}.checkpoint")
+            if (self.checkpoint.at_s is not None
+                    and self.checkpoint.at_s > self.duration_s):
+                raise ScenarioError(
+                    f"{ctx}.checkpoint.at_s: snapshot at "
+                    f"{self.checkpoint.at_s} s lands after the scenario "
+                    f"ends (duration_s={self.duration_s}); it must land "
+                    f"inside the run")
         if self.injections and not self.members and fleet_like is None:
             raise ScenarioError(f"{ctx}.injections: injections require a "
                                 f"'members', 'fleet' or 'schedule' "

@@ -403,7 +403,8 @@ class BatchColocationSim:
                  n: Optional[int] = None,
                  min_lc_cores: int = 1,
                  record_history: bool = True,
-                 specs: Optional[Sequence[MachineSpec]] = None):
+                 specs: Optional[Sequence[MachineSpec]] = None,
+                 spill_dir: Optional[str] = None):
         if seeds is not None:
             seeds = list(seeds)
         if n is None:
@@ -436,7 +437,11 @@ class BatchColocationSim:
         else:
             fields = [("t_s", np.float64)] + [
                 (name, np.float64) for name in BatchHistory._FIELDS]
-        self._store = BatchColumnStore(fields, n=n, shared=("t_s",))
+        # spill_dir bounds resident history memory by chunked
+        # spill-to-disk (see repro.metrics.columns); each batch needs
+        # its own directory.
+        self._store = BatchColumnStore(fields, n=n, shared=("t_s",),
+                                       spill_dir=spill_dir)
         self.history = BatchHistory(n=n, store=self._store)
 
         self.members: List[BatchMember] = self._build_members(

@@ -153,7 +153,8 @@ class ColocationSim:
                  be: Optional[BestEffortWorkload] = None,
                  spec: Optional[MachineSpec] = None,
                  seed: int = 0,
-                 min_lc_cores: int = 1):
+                 min_lc_cores: int = 1,
+                 spill_dir: Optional[str] = None):
         self.lc = lc
         self.be = be
         self.trace = trace
@@ -163,7 +164,10 @@ class ColocationSim:
         self.latency_monitor = LatencyMonitor()
         self.rng = np.random.default_rng(seed)
         self.time_s = 0.0
-        self.history = SimHistory()
+        # spill_dir bounds resident history memory by chunked
+        # spill-to-disk (see repro.metrics.columns); each sim needs its
+        # own directory.
+        self.history = SimHistory(spill_dir=spill_dir)
         self.controller: Optional[Controller] = None
         if be is not None:
             reference = reference_throughput_units(be)

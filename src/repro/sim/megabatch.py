@@ -45,6 +45,7 @@ scalar references.
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -865,15 +866,107 @@ class MegaFleetSim:
                 sim.set_chaos_events(bucket["events"])
             self.groups.append((sim, bucket["spans"]))
 
+    @staticmethod
+    def group_archive(checkpoint_dir: str, group: int) -> str:
+        """Archive path of one merged group under a checkpoint dir."""
+        return os.path.join(checkpoint_dir, f"mega_group_{group}.npz")
+
+    def _save_groups(self, checkpoint_dir: str, k: int, recs,
+                     collect_be: bool) -> None:
+        """Snapshot every group after ``k`` completed ticks.
+
+        Rows ``[0, k)`` of each group's collected arrays are fully
+        written at this point except ``be_cores`` row ``k - 1``, which
+        (as in ``run_shard``) is only gathered by tick ``k + 1``; the
+        resumed run rewrites it deterministically from the restored
+        actuator state.
+        """
+        from .checkpoint import save_engine
+        for g, ((sim, _), (times, tails, emus, be_norm, be_cores)) \
+                in enumerate(zip(self.groups, recs)):
+            arrays = {"times": times[:k], "tails": tails[:k],
+                      "emus": emus[:k]}
+            if collect_be:
+                arrays["be_norm"] = be_norm[:k]
+                arrays["be_cores"] = be_cores[:k - 1]
+            save_engine(sim, self.group_archive(checkpoint_dir, g),
+                        kind="mega_group", arrays=arrays,
+                        extra_meta={"steps_done": k, "n": sim.n,
+                                    "group": g,
+                                    "collect_be": bool(collect_be)})
+
+    def _load_groups(self, resume_from: str, recs, steps: int,
+                     collect_be: bool) -> int:
+        """Swap in saved group sims + collected prefixes; returns k0.
+
+        The engine is first rebuilt fresh from its plans (group layout
+        is a deterministic function of the plans), then each group's
+        archive replaces the fresh sim and refills the already-computed
+        telemetry rows — validated against the rebuilt layout so a
+        checkpoint from a different fleet fails loudly.
+        """
+        from .checkpoint import CheckpointError, load_engine
+        k0 = None
+        for g, (group, rec) in enumerate(zip(self.groups, recs)):
+            sim, spans = group
+            restored = load_engine(self.group_archive(resume_from, g),
+                                   expect_kind="mega_group")
+            if restored.meta.get("n") != sim.n:
+                raise CheckpointError(
+                    f"group {g}: checkpoint holds {restored.meta.get('n')} "
+                    f"members, this fleet builds {sim.n}")
+            if bool(restored.meta.get("collect_be")) != bool(collect_be):
+                raise CheckpointError(
+                    f"group {g}: checkpoint collect_be="
+                    f"{restored.meta.get('collect_be')} does not match "
+                    f"this run's collect_be={collect_be}")
+            k = int(restored.meta["steps_done"])
+            if k0 is None:
+                k0 = k
+            elif k != k0:
+                raise CheckpointError(
+                    f"group {g}: checkpointed at tick {k}, other groups "
+                    f"at {k0} — mixed-run checkpoint directory")
+            if k > steps:
+                raise CheckpointError(
+                    f"checkpoint holds {k} completed ticks but the "
+                    f"resumed run is only {steps} ticks long")
+            self.groups[g] = (restored.sim, spans)
+            times, tails, emus, be_norm, be_cores = rec
+            times[:k] = restored.arrays["times"]
+            tails[:k] = restored.arrays["tails"]
+            emus[:k] = restored.arrays["emus"]
+            if collect_be:
+                be_norm[:k] = restored.arrays["be_norm"]
+                # be_cores lands one tick late (see the run loop), so
+                # the checkpoint carries one row fewer; the resumed
+                # tick k rewrites row k - 1 from the restored state.
+                be_cores[:k - 1] = restored.arrays["be_cores"]
+        return k0 or 0
+
     def run(self, duration_s: float, dt_s: float = 1.0,
-            collect_be: bool = False) -> list:
-        """Advance the merged groups; one ShardResult per cluster plan."""
+            collect_be: bool = False,
+            checkpoint_dir: Optional[str] = None,
+            checkpoint_at_s: Optional[float] = None,
+            resume_from: Optional[str] = None) -> list:
+        """Advance the merged groups; one ShardResult per cluster plan.
+
+        ``checkpoint_dir`` + ``checkpoint_at_s`` snapshot every group
+        (state + collected telemetry prefix) after the tick whose time
+        reaches ``checkpoint_at_s``; ``resume_from`` restores such a
+        directory and continues from the saved tick, producing results
+        bit-identical to the uninterrupted run.
+        """
         from ..fleet.shard import ShardResult
+        from .checkpoint import checkpoint_step
         if duration_s <= 0:
             raise ValueError("duration must be positive")
         if dt_s <= 0:
             raise ValueError("dt must be positive")
         steps = int(round(duration_s / dt_s))
+        k_save = None
+        if checkpoint_dir is not None and checkpoint_at_s is not None:
+            k_save = checkpoint_step(checkpoint_at_s, duration_s, dt_s)
         recs = []
         for sim, _ in self.groups:
             times = np.empty(steps)
@@ -885,7 +978,10 @@ class MegaFleetSim:
             else:
                 be_norm = be_cores = None
             recs.append((times, tails, emus, be_norm, be_cores))
-        for k in range(steps):
+        k0 = 0
+        if resume_from is not None:
+            k0 = self._load_groups(resume_from, recs, steps, collect_be)
+        for k in range(k0, steps):
             for (sim, _), (times, tails, emus, be_norm, be_cores) in zip(
                     self.groups, recs):
                 result = sim.tick(dt_s)
@@ -894,10 +990,23 @@ class MegaFleetSim:
                 emus[k] = result.emu
                 if collect_be:
                     be_norm[k] = result.be_throughput_norm
-                    # Post-controller-step grants, as run_shard records
-                    # them — here a masked read instead of a property
-                    # loop over members.
-                    be_cores[k] = sim.be_cores_now()
+                    # The recorded grant is what run_shard records: the
+                    # state tick k+1's actuator gather sees — post
+                    # controller step of tick k *and* post any chaos
+                    # events firing at the start of tick k+1.  Reading
+                    # be_cores_now() here instead would miss those
+                    # chaos mutations and shift the scheduler's
+                    # grant_cores epochs off the sharded reference.
+                    if k:
+                        be_cores[k - 1] = sim._gathered_be_cores
+            if k_save is not None and k + 1 == k_save:
+                self._save_groups(checkpoint_dir, k + 1, recs, collect_be)
+        if steps and collect_be:
+            for (sim, _), (times, tails, emus, be_norm, be_cores) in zip(
+                    self.groups, recs):
+                # The final row has no following tick to gather it; one
+                # direct read closes the shift, as in run_shard.
+                be_cores[steps - 1] = sim.be_cores_now()
         results: List[Optional[ShardResult]] = [None] * len(self.plans)
         for (sim, spans), (times, tails, emus, be_norm, be_cores) in zip(
                 self.groups, recs):
@@ -933,13 +1042,19 @@ class MegaFleetSim:
 
 def run_mega_fleet(plans, targets: Dict[str, Tuple[float, float]],
                    duration_s: float, dt_s: float = 1.0,
-                   collect_be: bool = False) -> list:
+                   collect_be: bool = False,
+                   checkpoint_dir: Optional[str] = None,
+                   checkpoint_at_s: Optional[float] = None,
+                   resume_from: Optional[str] = None) -> list:
     """Build and run the mega engine over a fleet's cluster plans.
 
     The in-process work unit :class:`~repro.fleet.simulator.
     ShardedFleetSim` dispatches to when ``engine="mega"``; returns one
     whole-cluster :class:`~repro.fleet.shard.ShardResult` per plan, in
-    plan order.
+    plan order.  Checkpoint/resume parameters pass straight through to
+    :meth:`MegaFleetSim.run`.
     """
-    return MegaFleetSim(plans, targets).run(duration_s, dt_s=dt_s,
-                                            collect_be=collect_be)
+    return MegaFleetSim(plans, targets).run(
+        duration_s, dt_s=dt_s, collect_be=collect_be,
+        checkpoint_dir=checkpoint_dir, checkpoint_at_s=checkpoint_at_s,
+        resume_from=resume_from)

@@ -79,3 +79,45 @@ class TestLoadTrajectory:
         trajectory = bench_report.load_trajectory(str(tmp_path))
         assert set(trajectory) == {"BENCH_PR3.json"}
         assert "BENCH_PR4.json" in capsys.readouterr().err
+
+
+class TestResolveOut:
+    """The cwd-relative --out regression.
+
+    A relative report path used to resolve against the caller's cwd:
+    run from a subdirectory, the report landed outside the repo root,
+    and the newest committed snapshot (same filename, different
+    directory) escaped the report's self-exclusion and was folded into
+    the report about to overwrite it.  The path must anchor at the
+    repo root regardless of cwd.
+    """
+
+    def test_relative_out_anchors_at_root(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # a cwd that is NOT the root
+        resolved = bench_report.resolve_out("BENCH_PR9.json", "/some/root")
+        assert resolved == os.path.join("/some/root", "BENCH_PR9.json")
+
+    def test_absolute_out_is_untouched(self):
+        out = os.path.join(os.sep, "elsewhere", "report.json")
+        assert bench_report.resolve_out(out, "/some/root") == out
+
+    def test_anchored_out_self_excludes_from_trajectory(self, tmp_path,
+                                                        monkeypatch):
+        """End to end: same-name snapshot at root is excluded even when
+        cwd is a different directory containing a decoy."""
+        root = tmp_path / "repo"
+        root.mkdir()
+        (root / "BENCH_PR5.json").write_text("{}\n")
+        (root / "BENCH_PR9.json").write_text("{}\n")
+        elsewhere = tmp_path / "elsewhere"
+        elsewhere.mkdir()
+        monkeypatch.chdir(elsewhere)
+        out = bench_report.resolve_out("BENCH_PR9.json", str(root))
+        trajectory = bench_report.load_trajectory(str(root), exclude=out)
+        assert set(trajectory) == {"BENCH_PR5.json"}
+
+    def test_checkpoint_bench_registered(self):
+        """The PR 9 benchmark is wired into the report run."""
+        names = [name for name, _, _ in bench_report.BENCHES]
+        assert "checkpoint" in names
+        assert "checkpoint" in bench_report.DETAIL_ENVS

@@ -217,6 +217,36 @@ class TestMegaEngineDifferential:
             assert np.array_equal(getattr(a, name), getattr(b, name)), (
                 f"slack signal {name!r} diverged between engines")
 
+    def test_mega_slack_view_matches_sharded_under_be_chaos(self):
+        """BE-toggle chaos must land in the *same* grant row on both
+        engines.  The recorded grant for tick k is what tick k+1's
+        actuator gather sees — including chaos events firing at the
+        start of tick k+1 — so the mega loop cannot simply read the
+        post-controller state after tick k.  The fuzzer caught the
+        mega engine doing exactly that (shifting ``grant_cores`` by
+        one tick around every BE toggle and diverging the scheduler's
+        crediting); one-tick epochs make any such shift visible here.
+        """
+        events = (ChaosEvent(45.0, "disable_be"),
+                  ChaosEvent(75.0, "enable_be"),
+                  ChaosEvent(110.0, "set_be_cores", 2, members=(3,)),
+                  ChaosEvent(150.0, "disable_be", members=(3,)))
+
+        def run(engine, shard_leaves):
+            fleet = ShardedFleetSim(
+                [ClusterPlan(name="diff", leaves=LEAVES,
+                             trace=reference_trace(), seed=SEED,
+                             events=events)],
+                shard_leaves=shard_leaves, engine=engine)
+            return fleet.run(DURATION, processes=1, slack_epoch_s=1.0)
+
+        a = run("mega", LEAVES).slack
+        b = run("sharded", 3).slack
+        for name in ("harvest_core_s", "grant_cores", "latched"):
+            assert np.array_equal(getattr(a, name), getattr(b, name)), (
+                f"slack signal {name!r} diverged between engines "
+                f"under BE-toggle chaos")
+
     def test_mega_heterogeneous_matches_sharded(self):
         """Mixed specs / LCs / unmanaged clusters in one array program."""
         def plans():
@@ -365,6 +395,171 @@ class TestChaosDifferential:
             ShardedFleetSim([ClusterPlan(
                 name="c", leaves=4, trace=ConstantLoad(0.5),
                 events=(ChaosEvent(10.0, "straggler"),))])
+
+
+#: A chaos schedule that *straddles* the snapshot tick below: at
+#: t=55 s two leaves are crashed, one is a straggler, the power cap is
+#: active — and the recovery events are still pending.  The shard
+#: archives must carry the degraded state and the schedule cursor.
+STRADDLING_EVENTS = (
+    ChaosEvent(30.0, "leaf_crash", members=(1, 4)),
+    ChaosEvent(40.0, "straggler", 0.6, members=(2,)),
+    ChaosEvent(50.0, "power_cap", 0.75),
+    ChaosEvent(80.0, "leaf_restart", members=(1, 4)),
+    ChaosEvent(95.0, "straggler", 1.0, members=(2,)),
+    ChaosEvent(100.0, "power_cap", 1.0),
+)
+
+SNAPSHOT_AT = 55.0
+
+
+class TestCheckpointResume:
+    """Fleet-level checkpoint/resume: run-to-T ≡ save + restore +
+    resume, bit for bit, for the sharded and mega engines, across
+    shard plans and worker pools, under chaos events straddling the
+    snapshot tick.  Plus the manifest validation that keeps a snapshot
+    from silently resuming under a different fleet."""
+
+    def _fleet(self, engine="sharded", shard_leaves=LEAVES,
+               events=STRADDLING_EVENTS):
+        return ShardedFleetSim(
+            [ClusterPlan(name="diff", leaves=LEAVES,
+                         trace=reference_trace(), seed=SEED,
+                         events=tuple(events))],
+            shard_leaves=shard_leaves, engine=engine)
+
+    def _straight(self, **over):
+        return self._fleet(**over).run(CHAOS_DURATION, processes=1)
+
+    def test_saving_does_not_perturb_the_run(self, tmp_path):
+        """The run that *writes* the snapshot stays on trajectory, and
+        the checkpoint directory holds a manifest + shard archives."""
+        import os
+
+        from repro.fleet.simulator import FLEET_META_NAME
+        ckpt = str(tmp_path / "ckpt")
+        straight = self._straight()
+        saved = self._fleet().run(CHAOS_DURATION, processes=1,
+                                  checkpoint_dir=ckpt,
+                                  checkpoint_at_s=SNAPSHOT_AT)
+        assert_cluster_histories_identical(
+            saved.cluster("diff").history, straight.cluster("diff").history,
+            "checkpointing run vs straight")
+        names = sorted(os.listdir(ckpt))
+        assert FLEET_META_NAME in names
+        assert [n for n in names if n.startswith("shard_")]
+        meta = json.loads((tmp_path / "ckpt" / FLEET_META_NAME)
+                          .read_text())
+        assert meta["version"] == 1
+        assert meta["checkpoint_t_s"] == SNAPSHOT_AT
+        assert meta["engine"] == "sharded"
+
+    @pytest.mark.parametrize("engine,shard_leaves,jobs",
+                             [("sharded", 8, "1"), ("sharded", 3, "4"),
+                              ("sharded", 1, "1"), ("mega", 8, "1")])
+    def test_resume_is_bit_identical(self, tmp_path, monkeypatch, engine,
+                                     shard_leaves, jobs):
+        monkeypatch.setenv(JOBS_ENV, jobs)
+        ckpt = str(tmp_path / "ckpt")
+        straight = self._straight(engine=engine,
+                                  shard_leaves=shard_leaves)
+        self._fleet(engine=engine, shard_leaves=shard_leaves) \
+            .run(CHAOS_DURATION, processes=None, checkpoint_dir=ckpt,
+                 checkpoint_at_s=SNAPSHOT_AT)
+        resumed = self._fleet(engine=engine, shard_leaves=shard_leaves) \
+            .run(CHAOS_DURATION, processes=None, resume_from=ckpt)
+        assert_cluster_histories_identical(
+            resumed.cluster("diff").history,
+            straight.cluster("diff").history,
+            f"resumed[{engine}, shard={shard_leaves}, jobs={jobs}] "
+            f"vs straight")
+        assert resumed.summary(skip_s=10.0) == straight.summary(
+            skip_s=10.0)
+
+    def test_resume_with_spill_matches_in_ram(self, tmp_path,
+                                              monkeypatch):
+        """Spill on both segments of the resumed run: reads
+        materialize exactly what an in-RAM straight run records."""
+        from repro.metrics.columns import SPILL_CHUNK_ENV
+        monkeypatch.setenv(SPILL_CHUNK_ENV, "16")
+        ckpt = str(tmp_path / "ckpt")
+        straight = self._straight(shard_leaves=3)
+        self._fleet(shard_leaves=3).run(
+            CHAOS_DURATION, processes=1, checkpoint_dir=ckpt,
+            checkpoint_at_s=SNAPSHOT_AT,
+            spill_dir=str(tmp_path / "spill_a"))
+        resumed = self._fleet(shard_leaves=3).run(
+            CHAOS_DURATION, processes=1, resume_from=ckpt,
+            spill_dir=str(tmp_path / "spill_b"))
+        assert_cluster_histories_identical(
+            resumed.cluster("diff").history,
+            straight.cluster("diff").history,
+            "spilled resume vs in-RAM straight")
+
+    def test_branching_two_futures_from_one_snapshot(self, tmp_path):
+        """Warm-started what-if: the same snapshot resumed twice gives
+        bit-identical futures (fork determinism at fleet scale)."""
+        ckpt = str(tmp_path / "ckpt")
+        self._fleet().run(CHAOS_DURATION, processes=1,
+                          checkpoint_dir=ckpt,
+                          checkpoint_at_s=SNAPSHOT_AT)
+        forks = [self._fleet().run(CHAOS_DURATION, processes=1,
+                                   resume_from=ckpt) for _ in range(2)]
+        assert_cluster_histories_identical(
+            forks[0].cluster("diff").history,
+            forks[1].cluster("diff").history, "fork A vs fork B")
+
+    def test_checkpoint_args_must_pair(self):
+        from repro.sim.checkpoint import CheckpointError
+        with pytest.raises(CheckpointError, match="go together"):
+            self._fleet().run(CHAOS_DURATION, checkpoint_dir="/tmp/x")
+        with pytest.raises(CheckpointError, match="go together"):
+            self._fleet().run(CHAOS_DURATION, checkpoint_at_s=30.0)
+
+    def test_snapshot_must_land_inside_the_run(self, tmp_path):
+        from repro.sim.checkpoint import CheckpointError
+        with pytest.raises(CheckpointError, match="land in"):
+            self._fleet().run(CHAOS_DURATION,
+                              checkpoint_dir=str(tmp_path / "c"),
+                              checkpoint_at_s=CHAOS_DURATION + 60.0)
+
+    def test_manifest_rejects_cross_engine_resume(self, tmp_path):
+        from repro.sim.checkpoint import CheckpointError
+        ckpt = str(tmp_path / "ckpt")
+        self._fleet(engine="sharded").run(
+            CHAOS_DURATION, processes=1, checkpoint_dir=ckpt,
+            checkpoint_at_s=SNAPSHOT_AT)
+        with pytest.raises(CheckpointError, match="engine"):
+            self._fleet(engine="mega").run(CHAOS_DURATION,
+                                           resume_from=ckpt)
+
+    def test_manifest_rejects_topology_mismatch(self, tmp_path):
+        from repro.sim.checkpoint import CheckpointError
+        ckpt = str(tmp_path / "ckpt")
+        self._fleet(shard_leaves=3).run(
+            CHAOS_DURATION, processes=1, checkpoint_dir=ckpt,
+            checkpoint_at_s=SNAPSHOT_AT)
+        with pytest.raises(CheckpointError, match="shard_leaves"):
+            self._fleet(shard_leaves=8).run(CHAOS_DURATION,
+                                            resume_from=ckpt)
+
+    def test_resumed_run_cannot_checkpoint_backwards(self, tmp_path):
+        from repro.sim.checkpoint import CheckpointError
+        ckpt = str(tmp_path / "ckpt")
+        self._fleet().run(CHAOS_DURATION, processes=1,
+                          checkpoint_dir=ckpt,
+                          checkpoint_at_s=SNAPSHOT_AT)
+        with pytest.raises(CheckpointError, match="further ahead"):
+            self._fleet().run(CHAOS_DURATION, processes=1,
+                              resume_from=ckpt,
+                              checkpoint_dir=str(tmp_path / "again"),
+                              checkpoint_at_s=SNAPSHOT_AT)
+
+    def test_missing_manifest_fails_loudly(self, tmp_path):
+        from repro.sim.checkpoint import CheckpointError
+        with pytest.raises(CheckpointError, match="manifest"):
+            self._fleet().run(CHAOS_DURATION,
+                              resume_from=str(tmp_path / "nowhere"))
 
 
 class TestRunShard:

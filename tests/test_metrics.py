@@ -9,7 +9,21 @@ import pytest
 from repro.metrics import (BatchColumnStore, ColumnStore, WindowedMetrics,
                            derive_dt_s, max_after, mean_after, min_after,
                            sample_mean, window_width, worst_window_mean)
+from repro.metrics.columns import SPILL_DIR_ENV
 from repro.metrics.history import BatchMemberSeries, ColumnarHistory
+from repro.metrics.windows import (streaming_max, streaming_mean,
+                                   streaming_min, streaming_worst_window)
+
+
+@pytest.fixture
+def in_ram(monkeypatch):
+    """Force the in-RAM layout even under the CI spill env toggle.
+
+    A handful of tests assert layout-specific facts (zero-copy views,
+    geometric capacity growth, allocated bytes) that the spilling
+    layout legitimately changes; they pin the in-RAM behaviour.
+    """
+    monkeypatch.delenv(SPILL_DIR_ENV, raising=False)
 
 
 class TestColumnStore:
@@ -24,7 +38,7 @@ class TestColumnStore:
         np.testing.assert_array_equal(store.column("x"),
                                       [0.0, 10.0, 20.0, 30.0, 40.0])
 
-    def test_geometric_growth(self):
+    def test_geometric_growth(self, in_ram):
         store = ColumnStore({"x": np.float64}, capacity=1)
         for i in range(100):
             store.append_row({"x": float(i)})
@@ -32,7 +46,7 @@ class TestColumnStore:
         assert store.capacity < 400  # geometric, not unbounded
         assert store.column("x")[99] == 99.0
 
-    def test_float_column_is_zero_copy(self):
+    def test_float_column_is_zero_copy(self, in_ram):
         store = ColumnStore({"x": np.float64})
         store.append_row({"x": 1.0})
         view = store.column("x")
@@ -65,7 +79,7 @@ class TestColumnStore:
         col = store.column("x")
         assert np.isnan(col[0]) and col[1] == 2.5
 
-    def test_nbytes_tracks_rows_not_capacity(self):
+    def test_nbytes_tracks_rows_not_capacity(self, in_ram):
         store = ColumnStore({"x": np.float64}, capacity=1024)
         assert store.nbytes() == 0
         assert store.nbytes(allocated=True) == 1024 * 8
@@ -85,6 +99,197 @@ class TestColumnStore:
         assert store.fields == ("a", "b")
 
 
+class TestNoneRejection:
+    """Regression: None headed for a narrow column fails loudly.
+
+    ``append_row`` encodes None as NaN, which only exists for float
+    dtypes; assigning NaN into an int32/bool column used to surface as
+    an opaque NumPy cast error mid-run.  The store now rejects it
+    eagerly with a TypeError naming the field.
+    """
+
+    def test_none_into_int_column_names_the_field(self):
+        store = ColumnStore({"x": np.float64, "count": np.int32})
+        with pytest.raises(TypeError, match="count"):
+            store.append_row({"x": 1.0, "count": None})
+
+    def test_none_into_bool_column_names_the_field(self):
+        store = ColumnStore({"flag": np.bool_})
+        with pytest.raises(TypeError, match="flag"):
+            store.append_row({"flag": None})
+
+    def test_none_into_float_column_still_encodes_nan(self):
+        store = ColumnStore({"x": np.float64, "count": np.int32})
+        store.append_row({"x": None, "count": 3})
+        assert np.isnan(store.value("x", 0))
+        assert store.value("count", 0) == 3
+
+
+class TestViewGenerations:
+    """Regression: growth invalidates zero-copy views detectably.
+
+    ``_grow_to`` reallocates the backing buffer, so a view fetched
+    before an append that triggers growth silently freezes — it keeps
+    the old buffer alive and never sees new rows.  The ``generation``
+    counter makes that detectable: compare and re-fetch.
+    """
+
+    def test_growth_while_viewing(self, in_ram):
+        store = ColumnStore({"x": np.float64}, capacity=2)
+        store.append_row({"x": 1.0})
+        view = store.raw_column("x")
+        generation = store.generation
+        store.append_row({"x": 2.0})       # fits: no realloc
+        assert store.generation == generation
+        store.append_row({"x": 3.0})       # grows: view now stale
+        assert store.generation > generation
+        assert len(view) == 1              # the stale view froze
+        refetched = store.raw_column("x")
+        np.testing.assert_array_equal(refetched, [1.0, 2.0, 3.0])
+
+    def test_no_growth_no_bump(self, in_ram):
+        store = ColumnStore({"x": np.float64}, capacity=16)
+        generation = store.generation
+        for i in range(10):
+            store.append_row({"x": float(i)})
+        assert store.generation == generation
+
+    def test_spill_flush_bumps_generation(self, tmp_path):
+        store = ColumnStore({"x": np.float64}, spill_dir=str(tmp_path),
+                            spill_chunk_rows=4)
+        generation = store.generation
+        for i in range(4):
+            store.append_row({"x": float(i)})
+        assert store.generation > generation
+
+
+class TestSpill:
+    """Chunked spill-to-disk keeps resident memory bounded by chunk."""
+
+    FIELDS = {"t_s": np.float64, "x": np.float64, "n": np.int32}
+
+    def make(self, tmp_path, rows=11, chunk=4):
+        store = ColumnStore(self.FIELDS, spill_dir=str(tmp_path),
+                            spill_chunk_rows=chunk)
+        for i in range(rows):
+            store.append_row({"t_s": float(i), "x": i * 0.5, "n": i})
+        return store
+
+    def test_reads_match_in_ram(self, tmp_path, in_ram):
+        spilled = self.make(tmp_path)
+        plain = ColumnStore(self.FIELDS)
+        for i in range(11):
+            plain.append_row({"t_s": float(i), "x": i * 0.5, "n": i})
+        for name in self.FIELDS:
+            np.testing.assert_array_equal(spilled.raw_column(name),
+                                          plain.raw_column(name))
+            np.testing.assert_array_equal(spilled.column(name),
+                                          plain.column(name))
+        assert spilled.column("n").dtype == np.float64
+
+    def test_chunk_files_and_counters(self, tmp_path):
+        store = self.make(tmp_path, rows=11, chunk=4)
+        assert len(store) == 11
+        assert store.spilled_rows == 8       # two full chunks flushed
+        files = sorted(p.name for p in tmp_path.iterdir())
+        assert "chunk_000000_x.npy" in files
+        assert "chunk_000001_t_s.npy" in files
+        assert store.spilled_nbytes() > 0
+        # The resident tail is 3 rows, never the full 11.
+        assert store.nbytes() == 3 * (8 + 8 + 4)
+
+    def test_value_reads_through_chunks(self, tmp_path):
+        store = self.make(tmp_path, rows=11, chunk=4)
+        assert store.value("x", 0) == 0.0    # in chunk 0
+        assert store.value("x", 6) == 3.0    # in chunk 1
+        assert store.value("x", 10) == 5.0   # in the tail
+        assert store.value("x", -1) == 5.0
+
+    def test_column_chunks_stream(self, tmp_path):
+        store = self.make(tmp_path, rows=11, chunk=4)
+        chunks = list(store.column_chunks("x"))
+        assert [len(c) for c in chunks] == [4, 4, 3]
+        np.testing.assert_array_equal(np.concatenate(chunks),
+                                      np.arange(11) * 0.5)
+
+    def test_batch_spill_member_reads(self, tmp_path):
+        store = BatchColumnStore({"t_s": np.float64, "x": np.float64},
+                                 n=3, shared=("t_s",),
+                                 spill_dir=str(tmp_path),
+                                 spill_chunk_rows=4)
+        for t in range(10):
+            store.append_tick({"t_s": float(t),
+                               "x": np.array([t, 2.0 * t, -t],
+                                             dtype=float)})
+        np.testing.assert_array_equal(store.member_column("x", 1),
+                                      2.0 * np.arange(10.0))
+        chunks = list(store.member_column_chunks("x", 2))
+        np.testing.assert_array_equal(np.concatenate(chunks),
+                                      -np.arange(10.0))
+        np.testing.assert_array_equal(store.member_column("t_s", 0),
+                                      np.arange(10.0))
+        assert store.column("x").shape == (10, 3)
+
+    def test_env_toggle_spills(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(SPILL_DIR_ENV, str(tmp_path))
+        monkeypatch.setenv("REPRO_SPILL_CHUNK", "4")
+        store = ColumnStore({"x": np.float64})
+        for i in range(9):
+            store.append_row({"x": float(i)})
+        assert store.spilled_rows == 8
+        assert store.spill_dir is not None
+        assert str(tmp_path) in store.spill_dir
+        np.testing.assert_array_equal(store.column("x"), np.arange(9.0))
+
+    def test_bad_chunk_size_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ColumnStore({"x": np.float64}, spill_dir=str(tmp_path),
+                        spill_chunk_rows=0)
+
+
+class TestStreamingAggregates:
+    """Streaming chunk reductions agree with the materialized ones."""
+
+    def pairs(self, v, t, chunk=7):
+        return [(v[i:i + chunk], t[i:i + chunk])
+                for i in range(0, len(v), chunk)]
+
+    def test_against_materialized(self):
+        rng = np.random.default_rng(5)
+        v = rng.uniform(0.0, 2.0, size=200)
+        t = np.arange(200.0) * 0.5
+        skip = 13.0
+        assert streaming_max(self.pairs(v, t), skip) == max_after(v, t, skip)
+        assert streaming_min(self.pairs(v, t), skip) == min_after(v, t, skip)
+        assert streaming_mean(self.pairs(v, t), skip) == pytest.approx(
+            mean_after(v, t, skip), rel=1e-12)
+        got = streaming_worst_window(lambda: self.pairs(v, t),
+                                     window_s=30.0, skip_s=skip)
+        assert got == pytest.approx(
+            worst_window_mean(v, t, window_s=30.0, skip_s=skip), rel=1e-12)
+
+    def test_empty_and_short(self):
+        empty = []
+        assert streaming_mean(empty) == 0.0
+        assert streaming_max(empty) == 0.0
+        assert streaming_min(empty) == 0.0
+        assert streaming_worst_window(lambda: []) == 0.0
+        v, t = np.array([1.0, 3.0]), np.array([0.0, 1.0])
+        assert streaming_worst_window(lambda: self.pairs(v, t),
+                                      window_s=60.0) == pytest.approx(2.0)
+
+    def test_history_chunk_pairs(self, tmp_path):
+        history = _RecHistory(spill_dir=str(tmp_path), spill_chunk_rows=4)
+        for i in range(11):
+            history.append(_Rec(t_s=float(i), value=i * 1.5, count=i,
+                                flag=False, cap=None))
+        assert streaming_max(history.chunk_pairs("value")) == \
+            history.metrics.maximum("value")
+        assert streaming_mean(history.chunk_pairs("value"),
+                              skip_s=3.0) == pytest.approx(
+            history.metrics.mean("value", skip_s=3.0), rel=1e-12)
+
+
 class TestBatchColumnStore:
     def test_tick_append_shapes(self):
         store = BatchColumnStore({"t_s": np.float64, "x": np.float64},
@@ -99,7 +304,7 @@ class TestBatchColumnStore:
         np.testing.assert_array_equal(store.member_column("t_s", 1),
                                       [0.0, 1.0, 2.0, 3.0])
 
-    def test_member_column_is_zero_copy(self):
+    def test_member_column_is_zero_copy(self, in_ram):
         store = BatchColumnStore({"t_s": np.float64, "x": np.float64},
                                  n=2, shared=("t_s",))
         store.append_tick({"t_s": 0.0, "x": np.array([1.0, 2.0])})

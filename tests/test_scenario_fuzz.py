@@ -18,7 +18,11 @@ equivalence contracts hold for every one of them:
 * cluster shapes: the batch engine matches the scalar per-leaf loop
   bitwise on every arm;
 * sweep shapes: serial and process-pool execution produce identical
-  grids.
+  grids;
+* the resume axis: for fleet-like shapes, a run that *writes* a
+  mid-run checkpoint and a fresh run *resumed* from that checkpoint
+  are both bit-identical to the straight run — across engine ∈
+  {sharded, mega} × ``REPRO_JOBS`` ∈ {1, 4}.
 
 Profiles: ``REPRO_FUZZ_PROFILE=ci`` (the CI pin: 200 derandomized
 examples for the fleet matrix) or ``dev`` (default: a quick seeded
@@ -28,6 +32,7 @@ open-ended soak runs.
 
 import dataclasses
 import os
+import tempfile
 
 import numpy as np
 import pytest
@@ -35,7 +40,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.scenarios import run_scenario
+from repro.scenarios import CheckpointSpec, run_scenario
 from repro.scenarios.spec import (CONTROLLERS, INJECTION_ACTIONS,
                                   ClusterSpec, FleetSpec, InjectionSpec,
                                   JobSpec, ScenarioSpec, ScheduleSpec,
@@ -266,6 +271,48 @@ class TestFleetMatrix:
         for what, variant, jobs in variants:
             got = run_with_jobs(variant, jobs)
             assert_fleet_results_identical(got, base, what, spec.warmup_s)
+
+
+class TestResumeAxis:
+    """The checkpoint/resume leg of the matrix: for every generated
+    fleet/schedule scenario, (a) the run that writes a snapshot at
+    T/2 and (b) a fresh run resumed from that snapshot are both
+    bit-identical to the straight run — per engine and worker pool.
+    (Hypothesis forbids the function-scoped ``tmp_path`` fixture
+    inside ``@given``, so each example manages its own tempdir.)"""
+
+    VARIANTS = (
+        ("sharded jobs=1", {}, 1),
+        ("sharded shard=3 jobs=4", dict(engine="sharded",
+                                        shard_leaves=3), 4),
+        ("mega jobs=1", dict(engine="mega"), 1),
+    )
+
+    @settings(max_examples=15)
+    @given(spec=fleet_like_specs())
+    def test_save_and_resume_match_straight_run(self, spec):
+        spec.validate()
+        at_s = spec.duration_s / 2.0  # always on the tick grid here
+        base = run_with_jobs(spec, 1)
+        with tempfile.TemporaryDirectory() as tmp:
+            for i, (what, overrides, jobs) in enumerate(self.VARIANTS):
+                ckpt = os.path.join(tmp, f"ckpt{i}")
+                variant = with_fleet(spec, **overrides) \
+                    if overrides else spec
+                saver = dataclasses.replace(
+                    variant, checkpoint=CheckpointSpec(save=ckpt,
+                                                       at_s=at_s))
+                saver.validate()
+                saved = run_with_jobs(saver, jobs)
+                assert_fleet_results_identical(
+                    saved, base, f"{what} (checkpointing run)",
+                    spec.warmup_s)
+                resumer = dataclasses.replace(
+                    variant, checkpoint=CheckpointSpec(resume=ckpt))
+                resumed = run_with_jobs(resumer, jobs)
+                assert_fleet_results_identical(
+                    resumed, base, f"{what} (resumed run)",
+                    spec.warmup_s)
 
 
 class TestMemberScenarios:

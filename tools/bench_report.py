@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Run the perf-gating benchmarks and write the BENCH_PR6.json report.
+"""Run the perf-gating benchmarks and write the BENCH_PR9.json report.
 
-Usage: ``python tools/bench_report.py [--out BENCH_PR6.json]``
+Usage: ``python tools/bench_report.py [--out BENCH_PR9.json] [--root DIR]``
 
 Runs the telemetry benchmark (``benchmarks/test_bench_metrics.py`` —
 history-memory and summary-speed gates), the batched-backend benchmark
@@ -12,8 +12,10 @@ the scheduler benchmark (``benchmarks/test_bench_sched.py`` —
 slack-greedy vs static goodput at equal SLO), and the mega-fleet
 benchmark (``benchmarks/test_bench_megafleet.py`` — mega-engine
 bit-identity to the sharded reference plus the sequential-path speedup
-gate); the benchmarks that emit measurement detail as JSON are merged
-in.  Each suite's wall time and pass/fail land in one report so CI can
+gate), and the checkpoint/spill benchmark
+(``benchmarks/test_bench_checkpoint.py`` — the spilled-history peak-RSS
+gate plus checkpoint save/restore round-trip timing); the benchmarks
+that emit measurement detail as JSON are merged in.  Each suite's wall time and pass/fail land in one report so CI can
 upload the perf trajectory as an artifact run over run.
 
 The committed ``BENCH_PR*.json`` snapshots at the repo root are folded
@@ -51,6 +53,8 @@ BENCHES = (
     ("sched", "benchmarks/test_bench_sched.py", {"REPRO_JOBS": "0"}),
     ("megafleet", "benchmarks/test_bench_megafleet.py",
      {"REPRO_JOBS": "1"}),
+    ("checkpoint", "benchmarks/test_bench_checkpoint.py",
+     {"REPRO_JOBS": "1"}),
 )
 
 #: Benchmarks that write a JSON measurement detail file, keyed by the
@@ -60,6 +64,7 @@ DETAIL_ENVS = {
     "fleet": "REPRO_BENCH_FLEET_OUT",
     "sched": "REPRO_BENCH_SCHED_OUT",
     "megafleet": "REPRO_BENCH_MEGAFLEET_OUT",
+    "checkpoint": "REPRO_BENCH_CHECKPOINT_OUT",
 }
 
 
@@ -122,14 +127,37 @@ def load_trajectory(root: str = ROOT, exclude: str = "") -> dict:
     return trajectory
 
 
+def resolve_out(out: str, root: str) -> str:
+    """Anchor a relative report path at the repo root.
+
+    The report must land (and self-exclude from the trajectory) next to
+    the committed ``BENCH_PR*.json`` snapshots no matter where the
+    script is invoked from — the old cwd-relative default scattered
+    reports outside the repo when run from a subdirectory, and the
+    newest committed snapshot was folded into the report that was about
+    to overwrite it.
+    """
+    return out if os.path.isabs(out) \
+        else os.path.join(os.path.abspath(root), out)
+
+
 def main(argv=None) -> int:
     """Entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_PR6.json",
-                        help="report path (default: ./BENCH_PR6.json)")
+    parser.add_argument("--out", default="BENCH_PR9.json",
+                        help="report path; a relative path is anchored at "
+                             "--root, not the caller's cwd (default: "
+                             "<root>/BENCH_PR9.json)")
+    parser.add_argument("--root", default=ROOT,
+                        help="repository root the benchmarks and the "
+                             "snapshot trajectory are read from "
+                             "(default: the checkout containing this "
+                             "script)")
     args = parser.parse_args(argv)
+    root = os.path.abspath(args.root)
+    out = resolve_out(args.out, root)
 
-    report = {"report": "BENCH_PR6", "benches": {}}
+    report = {"report": "BENCH_PR9", "benches": {}}
     with tempfile.TemporaryDirectory() as tmp:
         for name, path, env in BENCHES:
             extra = dict(env)
@@ -147,13 +175,13 @@ def main(argv=None) -> int:
                 with open(detail_path, "r", encoding="utf-8") as handle:
                     report["benches"][name].update(json.load(handle))
 
-    report["trajectory"] = load_trajectory(exclude=args.out)
+    report["trajectory"] = load_trajectory(root=root, exclude=out)
     report["tests_passed"] = all(b["passed"]
                                  for b in report["benches"].values())
-    with open(args.out, "w", encoding="utf-8") as handle:
+    with open(out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    print(f"wrote {args.out}")
+    print(f"wrote {out}")
     for name, bench in report["benches"].items():
         verdict = "ok" if bench["passed"] else "FAILED"
         print(f"  {name}: {verdict} in {bench['wall_s']}s")
