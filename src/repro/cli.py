@@ -74,6 +74,30 @@ def build_parser() -> argparse.ArgumentParser:
             help="worker processes for sweep fan-out (default: one per "
                  "CPU; 1 forces the serial path)")
 
+    def add_obs(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace", metavar="PATH", default=None,
+            help="record the run's decision trace (controller "
+                 "actuations with their triggering signals, chaos "
+                 "resolutions, scheduler placements/evictions, "
+                 "checkpoint saves) and write it to PATH as "
+                 "deterministic tick-ordered JSONL; never perturbs "
+                 "the simulated numbers")
+        p.add_argument(
+            "--profile", action="store_true",
+            help="measure tick-phase wall-clock (chaos/physics/"
+                 "telemetry/controllers/rollup/ipc) and print the "
+                 "fleet-wide breakdown table to stderr")
+        p.add_argument(
+            "--json", action="store_true", dest="json_output",
+            help="print the run summary as one JSON document on "
+                 "stdout instead of the human-readable report "
+                 "(errors still go to stderr)")
+        p.add_argument(
+            "--progress", action="store_true",
+            help="print throttled tick/ETA heartbeats on stderr while "
+                 "long runs advance (works across the worker pool)")
+
     def add_checkpoint(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--checkpoint", metavar="PATH", default=None,
@@ -128,6 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument(
         "--seed", type=int, default=None,
         help="override the scenario's base seed")
+    add_obs(scenario)
     add_checkpoint(scenario)
 
     fleet = sub.add_parser(
@@ -153,6 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=("sharded", "mega"), default=None,
         help="override the fleet engine (sharded pool fan-out vs the "
              "in-process mega array engine; identical telemetry)")
+    add_obs(fleet)
     add_checkpoint(fleet)
 
     sched = sub.add_parser(
@@ -187,6 +213,7 @@ def build_parser() -> argparse.ArgumentParser:
     sched.add_argument(
         "--no-compare", action="store_true",
         help="skip the policy-vs-static comparison replay")
+    add_obs(sched)
     add_checkpoint(sched)
     return parser
 
@@ -213,6 +240,53 @@ def _apply_jobs(args: argparse.Namespace) -> None:
 
     from .sim.runner import JOBS_ENV
     os.environ[JOBS_ENV] = str(args.jobs)
+
+
+def _apply_obs_args(args: argparse.Namespace) -> None:
+    """Set the observability env toggles from the CLI flags.
+
+    Runs before any engine or pool worker is built, so one switch
+    covers the whole run — workers inherit the environment.
+    """
+    import os
+
+    from .obs import PROFILE_ENV, PROGRESS_ENV, TRACE_ENV
+    if getattr(args, "trace", None):
+        os.environ[TRACE_ENV] = "1"
+    if getattr(args, "profile", False):
+        os.environ[PROFILE_ENV] = "1"
+    if getattr(args, "progress", False):
+        os.environ[PROGRESS_ENV] = "1"
+
+
+def _emit_scenario_result(args: argparse.Namespace, result,
+                          extra: Optional[Dict[str, object]] = None) -> None:
+    """Print/write a scenario run's outputs per the obs flags.
+
+    The summary goes to stdout — as the human report, or as one JSON
+    document under ``--json`` (with ``extra`` keys merged in).  The
+    trace JSONL goes to ``--trace``'s path and the profile table to
+    stderr, so machine consumers can parse stdout unconditionally.
+    """
+    import json
+
+    if getattr(args, "trace", None):
+        from .obs import empty_payload, write_jsonl
+        payload = result.trace if result.trace is not None \
+            else empty_payload()
+        write_jsonl(payload, args.trace)
+        print(f"trace: {len(payload['t_s'])} event(s) -> {args.trace}",
+              file=sys.stderr)
+    if getattr(args, "profile", False) and result.profile is not None:
+        from .obs import render_profile
+        print(render_profile(result.profile), end="", file=sys.stderr)
+    if getattr(args, "json_output", False):
+        doc = result.to_dict()
+        if extra:
+            doc.update(extra)
+        print(json.dumps(doc, sort_keys=True))
+    else:
+        print(result.render(), end="")
 
 
 def _resolve_scenario_spec(name_or_file: str):
@@ -273,7 +347,7 @@ def _run_scenario_command(args: argparse.Namespace) -> int:
         result = compile_scenario(spec).run()
     except ScenarioError as exc:
         raise SystemExit(f"scenario: {exc}") from exc
-    print(result.render(), end="")
+    _emit_scenario_result(args, result)
     return 0
 
 
@@ -322,7 +396,7 @@ def _run_fleet_command(args: argparse.Namespace) -> int:
         result = compile_scenario(spec).run()
     except ScenarioError as exc:
         raise SystemExit(f"fleet: {exc}") from exc
-    print(result.render(), end="")
+    _emit_scenario_result(args, result)
     return 0
 
 
@@ -370,10 +444,10 @@ def _run_sched_command(args: argparse.Namespace) -> int:
         result = compile_scenario(spec).run()
     except ScenarioError as exc:
         raise SystemExit(f"sched: {exc}") from exc
-    print(result.render(), end="")
+    outcomes = None
     if not args.no_compare and spec.schedule.jobs \
             and result.schedule.policy != "static":
-        from .sched import compare_policies, render_comparison
+        from .sched import compare_policies
         # The scenario's own policy already ran inside the compiled
         # scenario; only the static baseline needs a replay.
         outcomes = {result.schedule.policy: result.schedule}
@@ -381,6 +455,13 @@ def _run_sched_command(args: argparse.Namespace) -> int:
             result.fleet.slack, spec.schedule.expand_jobs(),
             policies=("static",),
             queue_limit=spec.schedule.queue_limit))
+    extra = None
+    if outcomes is not None:
+        extra = {"policies": {name: outcome.summary()
+                              for name, outcome in outcomes.items()}}
+    _emit_scenario_result(args, result, extra=extra)
+    if outcomes is not None and not getattr(args, "json_output", False):
+        from .sched import render_comparison
         print(render_comparison(outcomes, fleet=result.fleet,
                                 skip_s=spec.warmup_s), end="")
     return 0
@@ -390,6 +471,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Parse arguments and dispatch to the selected command."""
     args = build_parser().parse_args(argv)
     _apply_jobs(args)
+    _apply_obs_args(args)
     if args.experiment == "scenario":
         return _run_scenario_command(args)
     if args.experiment == "fleet":

@@ -36,6 +36,7 @@ import numpy as np
 from ..cluster.leaf import make_leaf_lc
 from ..core.controller import HeraclesController
 from ..hardware.spec import MachineSpec
+from ..obs.progress import make_heartbeat
 from ..sim.batch import BatchColocationSim
 from ..sim.runner import memoized_dram_model
 from ..workloads.best_effort import make_be_workload
@@ -137,6 +138,10 @@ class ShardTask:
             results are bit-identical to the uninterrupted run.
         spill_dir: bound the shard engine's resident history memory by
             chunked spill-to-disk under this (shard-private) directory.
+        member_base: fleet-global index of this cluster's leaf 0
+            (cumulative leaf count of the preceding cluster plans);
+            decision-trace events report ``member_base + leaf_index``
+            so merged traces are invariant under any shard partition.
     """
 
     cluster: str
@@ -160,6 +165,7 @@ class ShardTask:
     checkpoint_at_s: "Optional[float]" = None
     resume_path: "Optional[str]" = None
     spill_dir: "Optional[str]" = None
+    member_base: int = 0
 
     @property
     def leaves(self) -> int:
@@ -181,6 +187,13 @@ class ShardResult:
     per-tick normalized BE throughput and Heracles-granted BE cores per
     leaf, also ``(T, leaves)``.  They are empty ``(0, 0)`` arrays
     unless the task asked for them (``collect_be=True``).
+
+    ``trace`` and ``profile`` carry the shard's decision-trace payload
+    (:meth:`repro.obs.trace.TraceSink.payload` columns, fleet-global
+    member indices) and tick-phase wall-clock breakdown; both are
+    ``None`` unless the run enabled the corresponding observability
+    toggle.  The fleet layer merges them across shards and drops them
+    from the stripped records.
     """
 
     cluster: str
@@ -196,6 +209,8 @@ class ShardResult:
         default_factory=lambda: np.zeros((0, 0)))
     be_cores: np.ndarray = field(
         default_factory=lambda: np.zeros((0, 0)))
+    trace: Optional[Dict[str, np.ndarray]] = None
+    profile: Optional[Dict[str, float]] = None
 
     def stripped(self) -> "ShardResult":
         """A summary-only copy with the bulk telemetry dropped.
@@ -286,6 +301,12 @@ def run_shard(task: ShardTask) -> ShardResult:
             model = memoized_dram_model(task.lc_name, spec)
             for member in batch.members:
                 HeraclesController.for_sim(member, dram_model=model)
+    # Fleet-global member indices for the decision trace — keyed by the
+    # leaf's global index like everything else in the shard, so the
+    # merged trace is invariant under the shard partition.  Re-stamped
+    # on restored engines too (cheap, and the map is this run's).
+    batch.obs_set_members(
+        task.member_base + np.arange(task.leaf_lo, task.leaf_hi))
 
     k_save = None
     if task.checkpoint_path is not None and task.checkpoint_at_s is not None:
@@ -300,6 +321,8 @@ def run_shard(task: ShardTask) -> ShardResult:
         be_cores = np.empty((steps, n))
     else:
         be_norm = be_cores = np.zeros((0, 0))
+    heartbeat = make_heartbeat(
+        f"{task.cluster}/shard{task.shard_index}", steps)
     if k0:
         times[:k0] = restored.arrays["times"]
         tails[:k0] = restored.arrays["tails"]
@@ -344,6 +367,8 @@ def run_shard(task: ShardTask) -> ShardResult:
                             "leaf_hi": task.leaf_hi,
                             "dt_s": task.dt_s,
                             "collect_be": bool(task.collect_be)})
+        if heartbeat is not None:
+            heartbeat.beat(k + 1)
     if steps and task.collect_be:
         # The final row has no following tick to gather it; one direct
         # (single, not per-tick) actuator read closes the shift.
@@ -366,4 +391,8 @@ def run_shard(task: ShardTask) -> ShardResult:
         cluster=task.cluster, cluster_index=task.cluster_index,
         shard_index=task.shard_index, leaf_lo=task.leaf_lo,
         leaf_hi=task.leaf_hi, times_s=times, tails_ms=tails, emus=emus,
-        summary=summary, be_norm=be_norm, be_cores=be_cores)
+        summary=summary, be_norm=be_norm, be_cores=be_cores,
+        trace=(batch._obs_trace.payload()
+               if batch._obs_trace is not None else None),
+        profile=(batch._obs_prof.as_dict()
+                 if batch._obs_prof is not None else None))

@@ -38,11 +38,15 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..cluster.cluster import ClusterHistory, cluster_slo_targets
 from ..hardware.spec import MachineSpec, default_machine_spec
-from ..sim.checkpoint import CheckpointError, checkpoint_step
+from ..obs.profile import PhaseProfiler, profile_enabled
+from ..obs.trace import concat_payloads, make_sink
+from ..sim.checkpoint import (CheckpointError, checkpoint_step,
+                              trace_checkpoint_save)
 from ..sim.runner import run_sweep
 from ..workloads.best_effort import BE_PROFILES
 from ..workloads.latency_critical import LC_PROFILES
@@ -164,6 +168,13 @@ class FleetResult:
     ``telemetry`` is the fleet-level column store.  ``slack`` is the
     decision-epoch per-leaf slack view the fleet scheduler consumes —
     populated only when the run asked for it (``slack_epoch_s``).
+
+    ``trace`` is the run's merged decision-trace payload
+    (:mod:`repro.obs.trace` columns with fleet-global member indices;
+    event order unspecified — the JSONL exporters canonicalize) and
+    ``profile`` the fleet-wide tick-phase wall-clock
+    breakdown; each is ``None`` unless the corresponding observability
+    toggle was on.
     """
 
     clusters: List[ClusterOutcome]
@@ -171,6 +182,8 @@ class FleetResult:
     duration_s: float
     dt_s: float
     slack: Optional[FleetSlackView] = None
+    trace: Optional[Dict[str, Any]] = None
+    profile: Optional[Dict[str, float]] = None
 
     def cluster(self, name: str) -> ClusterOutcome:
         """Look up one cluster's outcome by name."""
@@ -329,6 +342,7 @@ class ShardedFleetSim:
                spill_dir: Optional[str] = None) -> List[ShardTask]:
         """Materialize the picklable shard work units."""
         tasks = []
+        member_base = 0
         for index, plan in enumerate(self.clusters):
             leaf_slo_ms, _ = targets[plan.name]
             spec = plan.spec or default_machine_spec()
@@ -362,7 +376,9 @@ class ShardedFleetSim:
                     resume_path=None if resume_from is None else
                     self.shard_archive(resume_from, index, shard_index),
                     spill_dir=None if spill_dir is None else os.path.join(
-                        spill_dir, f"shard_{index}_{shard_index}")))
+                        spill_dir, f"shard_{index}_{shard_index}"),
+                    member_base=member_base))
+            member_base += plan.leaves
         return tasks
 
     def run(self, duration_s: float, dt_s: float = 1.0,
@@ -439,6 +455,8 @@ class ShardedFleetSim:
                 lc_name=plan.lc_name)
             for plan in self.clusters
         }
+        profiler = PhaseProfiler() if profile_enabled() else None
+        t_dispatch = perf_counter()
         if self.engine == "mega":
             # One in-process array program for the whole fleet; the
             # shard fan-out (and its pool) is bypassed entirely.  Each
@@ -458,6 +476,34 @@ class ShardedFleetSim:
                                 resume_from=resume_from,
                                 spill_dir=spill_dir)
             results = run_sweep(run_shard, tasks, processes=processes)
+        dispatch_wall_s = perf_counter() - t_dispatch
+        # Harvest the shards' observability payloads before the roll-up
+        # consumes (and drops) the bulk results.  The fleet-level sink
+        # adds run-scoped events (checkpoint saves) so the merged trace
+        # stays invariant under the shard plan — a per-shard save event
+        # would count shards.
+        fleet_sink = make_sink()
+        if fleet_sink is not None and resume_from is not None:
+            # The snapshot this run warm-started from: replayed so a
+            # resumed trace matches the checkpointing run's.
+            trace_checkpoint_save(
+                fleet_sink, resume_meta["checkpoint_t_s"],
+                int(round(resume_meta["checkpoint_t_s"] / dt_s)))
+        if fleet_sink is not None and checkpoint_dir is not None:
+            trace_checkpoint_save(fleet_sink, checkpoint_at_s, k_save)
+        trace_payloads = [r.trace for r in results if r.trace is not None]
+        if fleet_sink is not None and len(fleet_sink):
+            trace_payloads.append(fleet_sink.payload())
+        trace = concat_payloads(trace_payloads) if trace_payloads else None
+        if profiler is not None:
+            for result in results:
+                profiler.merge(result.profile)
+            # Pool wall-clock not attributed to any shard phase:
+            # dispatch, pickling, result transport.  Parallel shards
+            # overlap, so the residual clamps at zero and is exact
+            # only on the serial path (REPRO_JOBS=1).
+            shard_wall_s = sum(profiler.seconds.values())
+            profiler.add("ipc", max(0.0, dispatch_wall_s - shard_wall_s))
         if checkpoint_dir is not None:
             # The manifest is written last, once every shard archive
             # exists — a directory with a manifest is a complete,
@@ -478,6 +524,7 @@ class ShardedFleetSim:
         outcomes = []
         histories: Dict[str, ClusterHistory] = {}
         slack_views = []
+        t_rollup = perf_counter()
         for plan in self.clusters:
             leaf_slo_ms, root_slo_ms = targets[plan.name]
             # Pop each cluster's shard list so its bulk (T, n) arrays
@@ -508,5 +555,10 @@ class ShardedFleetSim:
             [plan.leaves for plan in self.clusters])
         slack = FleetSlackView(slack_views) if slack_epoch_s is not None \
             else None
+        if profiler is not None:
+            profiler.add("rollup", perf_counter() - t_rollup)
         return FleetResult(clusters=outcomes, telemetry=telemetry,
-                           duration_s=duration_s, dt_s=dt_s, slack=slack)
+                           duration_s=duration_s, dt_s=dt_s, slack=slack,
+                           trace=trace,
+                           profile=(profiler.as_dict()
+                                    if profiler is not None else None))

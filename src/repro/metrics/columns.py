@@ -354,6 +354,50 @@ class ColumnStore:
         self._length += 1
         self._maybe_flush()
 
+    def append_rows(self, values: Mapping[str, np.ndarray]) -> None:
+        """Append a block of rows; every field an equal-length array.
+
+        The block counterpart of :meth:`append_row` for callers that
+        produce many rows per tick (the decision-trace sink emits one
+        block per changed actuator kind): one slice assignment per
+        field instead of a Python loop per row.  ``None`` encoding is
+        *not* applied — callers hand in arrays already in storage
+        dtype (encode NaN yourself for float fields).  Spilling stores
+        write the block in tail-capacity slices, flushing full chunks
+        exactly as the row-at-a-time path would.
+        """
+        arrays = {}
+        count = None
+        for name in self._dtypes:
+            array = np.asarray(values[name])
+            if count is None:
+                count = len(array)
+            elif len(array) != count:
+                raise ValueError(
+                    f"field {name!r} has {len(array)} rows, expected "
+                    f"{count}: append_rows needs equal-length columns")
+            arrays[name] = array
+        if not count:
+            return
+        if self._spill_dir is None:
+            self._grow_to(self._length + count)
+            lo = self._length - self._base
+            for name, array in arrays.items():
+                self._data[name][lo:lo + count] = array
+            self._length += count
+            return
+        written = 0
+        while written < count:
+            room = self._capacity - (self._length - self._base)
+            take = min(room, count - written)
+            lo = self._length - self._base
+            for name, array in arrays.items():
+                self._data[name][lo:lo + take] = \
+                    array[written:written + take]
+            self._length += take
+            written += take
+            self._maybe_flush()
+
     # -- reads ----------------------------------------------------------
 
     def _assemble(self, name: str, member=None) -> np.ndarray:

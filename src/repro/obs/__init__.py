@@ -1,0 +1,51 @@
+"""Off-by-default observability: decision tracing, phase profiling,
+progress heartbeats.
+
+Heracles is a *feedback* system — the paper's controllers act on
+monitored signals every epoch — and the telemetry layer records only
+the *outcome* of those decisions.  This package records the decisions
+themselves, without ever perturbing them:
+
+* :mod:`repro.obs.trace` — a :class:`~repro.obs.trace.TraceSink`
+  receiving structured events (controller actuations with triggering
+  signals, chaos resolutions, scheduler placements, checkpoint saves)
+  from instrumentation points inside every engine, merged across the
+  process pool into one deterministic, tick-ordered JSONL export;
+* :mod:`repro.obs.profile` — wall-clock tick-phase counters (physics /
+  controllers / chaos / telemetry / rollup / pool IPC) aggregated per
+  shard and rolled up fleet-wide;
+* :mod:`repro.obs.progress` — a throttled tick/ETA heartbeat on stderr
+  for long fleet runs, pool-safe.
+
+Everything is opt-in via environment toggles (``REPRO_TRACE``,
+``REPRO_PROFILE``, ``REPRO_PROGRESS``) that the CLI flags
+(``--trace`` / ``--profile`` / ``--progress``) set before any worker
+process forks, so the whole pool observes one switch.  The contract —
+enforced by ``tests/test_obs.py``, the fuzzer's trace axis, and
+``benchmarks/test_bench_obs.py`` — is that observability never changes
+a simulated number: every engine × shard plan × worker count × chaos
+schedule is bit-identical with tracing on or off, and the disabled
+path costs ≤2%.
+"""
+
+from repro.obs.profile import (PHASES, PROFILE_ENV, PhaseProfiler,
+                               make_profiler,
+                               merge_profiles, profile_enabled,
+                               render_profile)
+from repro.obs.progress import (PROGRESS_ENV, Heartbeat, make_heartbeat,
+                                progress_enabled)
+from repro.obs.trace import (FIELDS, KINDS, SOURCES, TRACE_ENV, TraceSink,
+                             concat_payloads, empty_payload,
+                             events_to_jsonl, iter_events, make_sink,
+                             merge_payloads, read_jsonl, trace_enabled,
+                             write_jsonl)
+
+__all__ = [
+    "FIELDS", "KINDS", "SOURCES", "TRACE_ENV", "TraceSink",
+    "concat_payloads", "empty_payload", "events_to_jsonl", "iter_events",
+    "make_sink", "merge_payloads", "read_jsonl", "trace_enabled",
+    "write_jsonl",
+    "PHASES", "PROFILE_ENV", "PhaseProfiler", "make_profiler", "merge_profiles",
+    "profile_enabled", "render_profile",
+    "PROGRESS_ENV", "Heartbeat", "make_heartbeat", "progress_enabled",
+]

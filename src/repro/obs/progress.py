@@ -1,0 +1,78 @@
+"""Progress heartbeats for long fleet runs: tick/ETA lines on stderr.
+
+A :class:`Heartbeat` prints a throttled one-line progress report —
+label, tick count, percentage, elapsed, and a linear ETA — to
+**stderr**, so it composes with ``--json`` and ``--trace`` output on
+stdout.  It is pool-safe by construction: each shard worker owns its
+own heartbeat and writes whole lines to the stderr handle inherited
+from the parent, which the POSIX pipe layer delivers atomically at
+these sizes.
+
+Enabled via :data:`PROGRESS_ENV` (the CLI ``--progress`` flag sets it
+before workers fork).  Disabled cost is the usual single ``is None``
+check per tick loop.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from typing import Optional
+
+#: Environment toggle: any non-empty value other than ``"0"`` enables
+#: progress heartbeats process-wide (pool workers inherit it).
+PROGRESS_ENV = "REPRO_PROGRESS"
+
+#: Minimum wall-clock seconds between lines from one heartbeat.
+DEFAULT_INTERVAL_S = 2.0
+
+
+def progress_enabled() -> bool:
+    """True when :data:`PROGRESS_ENV` requests progress heartbeats."""
+    return os.environ.get(PROGRESS_ENV, "") not in ("", "0")
+
+
+def make_heartbeat(label: str, total_ticks: int
+                   ) -> Optional["Heartbeat"]:
+    """A :class:`Heartbeat` when enabled (and the run is non-empty)."""
+    if not progress_enabled() or total_ticks <= 0:
+        return None
+    return Heartbeat(label, total_ticks)
+
+
+class Heartbeat:
+    """Throttled tick/ETA reporter for one shard or engine loop."""
+
+    def __init__(self, label: str, total_ticks: int,
+                 min_interval_s: float = DEFAULT_INTERVAL_S,
+                 stream=None) -> None:
+        self.label = label
+        self.total = int(total_ticks)
+        self.min_interval_s = float(min_interval_s)
+        self.stream = stream if stream is not None else sys.stderr
+        self._started = time.perf_counter()
+        self._last_emit = self._started
+
+    def beat(self, ticks_done: int) -> None:
+        """Report progress after ``ticks_done`` ticks (throttled).
+
+        The final tick always reports, so every shard's 100% line
+        lands even on runs shorter than the throttle interval.
+        """
+        now = time.perf_counter()
+        done = int(ticks_done)
+        if done < self.total and now - self._last_emit < self.min_interval_s:
+            return
+        self._last_emit = now
+        elapsed = now - self._started
+        share = done / self.total if self.total else 1.0
+        if 0 < done < self.total:
+            eta = elapsed * (self.total - done) / done
+            tail = f"elapsed {elapsed:.1f}s eta {eta:.1f}s"
+        else:
+            tail = f"elapsed {elapsed:.1f}s"
+        self.stream.write(
+            f"[progress] {self.label}: tick {done}/{self.total} "
+            f"({share:.0%}) {tail}\n")
+        self.stream.flush()

@@ -42,12 +42,14 @@ from ..core.controller import HeraclesController
 from ..experiments.common import (ColocationResult, baseline_cell,
                                   colocation_sweep)
 from ..fleet import ClusterPlan, FleetResult, ShardedFleetSim
+from ..obs.trace import concat_payloads
 from ..sched import ScheduleOutcome, run_schedule, tco_summary
 from ..sim.actuators import Actuators
 from ..sim.batch import BatchColocationSim
 from ..sim.chaos import ChaosEvent
 from ..sim.checkpoint import (checkpoint_step, completed_steps, load_engine,
-                              run_ticks, save_engine)
+                              run_ticks, save_engine,
+                              trace_checkpoint_save)
 from ..sim.engine import ColocationSim, Controller, SimHistory
 from ..sim.runner import memoized_dram_model, run_sweep
 from ..workloads.best_effort import make_be_workload
@@ -171,6 +173,61 @@ class ScenarioResult:
     root_slo_ms: Optional[float] = None
     fleet: Optional[FleetResult] = None
     schedule: Optional[ScheduleOutcome] = None
+    trace: Optional[Dict[str, object]] = None
+    profile: Optional[Dict[str, float]] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-readable run summary (the CLI's ``--json`` payload).
+
+        Plain JSON types only — strings, ints, floats, lists, dicts —
+        and deterministic for a given spec + seed, so two runs of the
+        same scenario compare with ``==`` on the parsed document.  The
+        shape-specific section mirrors what :meth:`render` prints:
+        ``members`` for member scenarios, ``sweeps``/``arms`` for grid
+        shapes, the fleet summary (plus the schedule/TCO roll-up) for
+        fleet-shaped runs.
+        """
+        spec = self.spec
+        out: Dict[str, object] = {
+            "scenario": spec.name,
+            "kind": self.kind,
+            "duration_s": float(spec.duration_s),
+            "warmup_s": float(spec.warmup_s),
+            "seed": int(spec.seed),
+        }
+        skip = spec.warmup_s
+        if self.kind in ("single", "batch"):
+            out["members"] = [
+                {"lc": m.lc, "be": m.be, "controller": m.controller,
+                 "seed": int(m.seed),
+                 "worst_window_slo": m.worst_window_slo(),
+                 "max_slo_fraction": m.max_slo_fraction(),
+                 "mean_emu": m.mean_emu(),
+                 "mean_be_throughput": m.mean_be_throughput()}
+                for m in self.members]
+        elif self.kind == "sweep":
+            out["sweeps"] = {
+                lc: {"loads": [float(x) for x in grid.loads],
+                     "baseline_slo": [float(x) for x in grid.baseline_slo],
+                     "worst_window_slo": {
+                         be: [r.history.worst_window_slo(skip_s=skip)
+                              for r in cells]
+                         for be, cells in grid.results.items()}}
+                for lc, grid in self.sweeps.items()}
+        elif self.kind == "cluster":
+            out["root_slo_ms"] = float(self.root_slo_ms)
+            out["arms"] = {
+                arm: {"max_root_slo_fraction":
+                      history.max_root_slo_fraction(skip_s=skip),
+                      "mean_emu": history.mean_emu(skip_s=skip)}
+                for arm, history in self.cluster_arms.items()}
+        if self.fleet is not None:
+            out["fleet"] = self.fleet.summary(skip_s=skip)
+        if self.schedule is not None:
+            out["schedule"] = self.schedule.summary()
+            out["tco"] = tco_summary(self.schedule, self.fleet,
+                                     skip_s=skip)
+        return out
 
     def render(self) -> str:
         """Human-readable report (what the CLI prints)."""
@@ -421,6 +478,10 @@ class CompiledScenario:
                 seed=spec.member_seed(i),
                 history=member_sim.history,
                 warmup_s=spec.warmup_s))
+        if sim._obs_trace is not None:
+            result.trace = concat_payloads([sim._obs_trace.payload()])
+        if sim._obs_prof is not None:
+            result.profile = sim._obs_prof.as_dict()
         return result
 
     def _run_members_checkpointed(self):
@@ -455,6 +516,10 @@ class CompiledScenario:
                     f"or before the resumed snapshot; a resumed run can "
                     f"only checkpoint further ahead")
             run_ticks(sim, k_save - done, spec.dt_s)
+            # Emitted before the archive is written so the pickled sink
+            # already carries the event and a resumed run replays it.
+            trace_checkpoint_save(getattr(sim, "_obs_trace", None),
+                                  sim.time_s, k_save)
             save_engine(sim, ckpt.save, kind=expect)
             done = k_save
         run_ticks(sim, total - done, spec.dt_s)
@@ -531,7 +596,9 @@ class CompiledScenario:
         outcome = fleet.run(spec.duration_s, dt_s=spec.dt_s,
                             processes=processes,
                             **self._fleet_run_kwargs())
-        return ScenarioResult(spec=spec, kind="fleet", fleet=outcome)
+        return ScenarioResult(spec=spec, kind="fleet", fleet=outcome,
+                              trace=outcome.trace,
+                              profile=outcome.profile)
 
     def _run_schedule(self, processes: Optional[int]) -> ScenarioResult:
         spec = self.spec
@@ -544,8 +611,13 @@ class CompiledScenario:
         scheduled = run_schedule(outcome.slack, schedule.expand_jobs(),
                                  policy=schedule.policy,
                                  queue_limit=schedule.queue_limit)
+        payloads = [p for p in (outcome.trace, scheduled.trace)
+                    if p is not None]
         return ScenarioResult(spec=spec, kind="schedule", fleet=outcome,
-                              schedule=scheduled)
+                              schedule=scheduled,
+                              trace=(concat_payloads(payloads)
+                                     if payloads else None),
+                              profile=outcome.profile)
 
     def _run_cluster(self, processes: Optional[int]) -> ScenarioResult:
         spec = self.spec

@@ -1378,3 +1378,44 @@ class ScenarioSpec:
         """Effective controller name of member ``index``."""
         member = self.members[index]
         return member.controller or self.controller
+
+    def to_data(self) -> Dict[str, Any]:
+        """The spec as a plain JSON-ready mapping.
+
+        The inverse of :meth:`from_dict`:
+        ``ScenarioSpec.from_dict(spec.to_data()) == spec`` for every
+        valid spec, so a programmatically built scenario (say, one a
+        fuzzer generated) can be written to a ``.json`` file that
+        ``load_scenario`` replays exactly.
+        """
+        return _spec_to_data(self)
+
+
+def _spec_to_data(obj: Any) -> Any:
+    """Recursive worker behind :meth:`ScenarioSpec.to_data`.
+
+    Walks each spec dataclass's ``_FIELDS``, dropping ``None`` and
+    empty-sequence values (the loader's defaults recreate them) so the
+    emitted mapping passes every ``_reject_unknown`` check on the way
+    back in.  :class:`TraceSpec` additionally emits only the fields its
+    ``kind`` accepts.
+    """
+    if isinstance(obj, TraceSpec):
+        allowed = (("kind",) + _TRACE_KIND_FIELDS[obj.kind]
+                   + ("phase_s", "spikes"))
+        return {name: _spec_to_data(getattr(obj, name))
+                for name in allowed
+                if getattr(obj, name) is not None
+                and (getattr(obj, name) or name not in ("phase_s",
+                                                        "spikes"))}
+    if dataclasses.is_dataclass(obj):
+        data = {}
+        for name in obj._FIELDS:
+            value = getattr(obj, name)
+            if value is None or (isinstance(value, tuple) and not value):
+                continue
+            data[name] = _spec_to_data(value)
+        return data
+    if isinstance(obj, (list, tuple)):
+        return [_spec_to_data(item) for item in obj]
+    return obj

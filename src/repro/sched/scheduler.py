@@ -46,6 +46,7 @@ import numpy as np
 
 from ..fleet.aggregate import FleetSlackView
 from ..metrics.columns import BatchColumnStore
+from ..obs.trace import concat_payloads, make_sink
 from .jobs import BeJob, JobRecord, JobState, expand_jobs
 from .policies import PlacementContext, Policy, make_policy
 
@@ -62,12 +63,19 @@ class ScheduleOutcome:
     epoch-by-epoch accounting column store (``None`` when the job list
     was empty: nothing to account).  The scalar totals are the
     headline numbers the benchmark gates.
+
+    ``trace`` is the run's decision-trace payload (``place``/``evict``
+    events: ``member`` = fleet-global leaf, ``a`` = slot cores, ``b`` =
+    job index on the ``jobs`` axis), populated only under
+    ``REPRO_TRACE`` — the scheduler is a pure function of the slack
+    view, so the trace is identical across shard plans and pools.
     """
 
     policy: str
     epoch_s: float
     jobs: List[JobRecord]
     store: Optional[BatchColumnStore]
+    trace: Optional[Dict[str, np.ndarray]] = None
     goodput_core_s: float = 0.0
     credited_core_s: float = 0.0
     harvested_core_s: float = 0.0
@@ -165,10 +173,14 @@ def run_schedule(slack: FleetSlackView, jobs: Sequence[BeJob],
     outcome = ScheduleOutcome(policy=chosen.name, epoch_s=epoch_s,
                               jobs=records, store=None)
     outcome.harvested_core_s = float(slack.harvest_core_s.sum())
+    sink = make_sink()
+    job_index = {id(record): j for j, record in enumerate(records)}
     if not records or not epochs:
         # Nothing to place (or nothing to place on): all harvest that
         # existed went unmetered.
         outcome.wasted_core_s = outcome.harvested_core_s
+        if sink is not None:
+            outcome.trace = concat_payloads([sink.payload()])
         return outcome
 
     store = BatchColumnStore(
@@ -231,6 +243,12 @@ def run_schedule(slack: FleetSlackView, jobs: Sequence[BeJob],
         _check_placement(placement, runnable, ctx.cap, chosen.name)
         for record, slots in zip(runnable, placement):
             record.assigned = dict(slots)
+            if sink is not None:
+                for leaf, cores in sorted(slots.items()):
+                    if cores > 0:
+                        sink.emit(t, int(leaf), "sched", "place",
+                                  a=float(cores),
+                                  b=float(job_index[id(record)]))
 
         # -- crediting: epoch e's actual harvest over placed slots ----
         by_leaf: Dict[int, List[JobRecord]] = {}
@@ -252,6 +270,10 @@ def run_schedule(slack: FleetSlackView, jobs: Sequence[BeJob],
                 # occupant counts an eviction.
                 for record in occupants:
                     record.evictions += 1
+                    if sink is not None:
+                        sink.emit(t, int(leaf), "sched", "evict",
+                                  a=float(record.assigned[leaf]),
+                                  b=float(job_index[id(record)]))
                 evictions += len(occupants)
                 continue
             unit = float(harvest_e[leaf]) / max(placed, float(grant_e[leaf]),
@@ -298,4 +320,6 @@ def run_schedule(slack: FleetSlackView, jobs: Sequence[BeJob],
 
     outcome.goodput_core_s = sum(r.job.demand_core_s for r in records
                                  if r.state == JobState.COMPLETED)
+    if sink is not None:
+        outcome.trace = concat_payloads([sink.payload()])
     return outcome

@@ -49,6 +49,7 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass, replace as _dc_replace
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
@@ -59,12 +60,14 @@ from ..hardware.server import Server
 from ..hardware.spec import MachineSpec
 from ..metrics.columns import BatchColumnStore
 from ..metrics.history import BatchMemberSeries
+from ..obs.profile import make_profiler
+from ..obs.trace import make_sink
 from ..workloads.best_effort import (BestEffortWorkload,
                                      reference_throughput_units)
 from ..workloads.latency_critical import LatencyCriticalWorkload
 from ..workloads.traces import LoadTrace
 from .actuators import BE_COS, Actuators
-from .chaos import PARTITION_TAIL_SLO_MULT, sort_events
+from .chaos import PARTITION_TAIL_SLO_MULT, sort_events, trace_chaos_event
 from .engine import Controller, SimHistory, TickRecord, TickSeriesMixin
 from .monitors import LatencyMonitor, ThroughputMonitor
 
@@ -470,6 +473,12 @@ class BatchColocationSim:
         # Engines that collect their own telemetry (the mega fleet
         # engine) clear this to skip the per-tick column-store append.
         self._record_ticks = True
+        # Observability (off by default: both stay None unless the
+        # REPRO_TRACE / REPRO_PROFILE env toggles are set; the whole
+        # disabled path is these attributes' None checks).
+        self._obs_trace = make_sink()
+        self._obs_prof = make_profiler()
+        self._obs_map: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Member-surface hooks
@@ -574,6 +583,78 @@ class BatchColocationSim:
                         dtype=np.int64)
 
     # ------------------------------------------------------------------
+    # Observability (decision tracing / phase profiling)
+    # ------------------------------------------------------------------
+    #
+    # Off by default: ``_obs_trace`` / ``_obs_prof`` stay None unless
+    # the REPRO_TRACE / REPRO_PROFILE toggles are set, and every hook
+    # below is gated on one ``is None`` check.  Tracing never mutates
+    # engine state — the post-controller gather restores the
+    # ``_gathered_be_cores`` cache the fleet drivers read.
+
+    #: Class-level observability defaults (pre-observability pickles
+    #: restore with everything off).
+    _obs_trace = None
+    _obs_prof = None
+    _obs_map = None
+
+    def obs_set_members(self, members) -> None:
+        """Set the *global* (fleet-wide) index of every local member.
+
+        Trace events carry global member indices so merged traces are
+        invariant under any shard partition; a standalone batch keeps
+        the identity mapping.
+        """
+        members = np.asarray(members, dtype=np.int64)
+        if members.shape != (self.n,):
+            raise ValueError(f"expected {self.n} member indices, got "
+                             f"shape {members.shape}")
+        self._obs_map = members
+
+    def _obs_members(self) -> np.ndarray:
+        """Local→global member index map (identity unless re-based)."""
+        if self._obs_map is None:
+            self._obs_map = np.arange(self.n, dtype=np.int64)
+        return self._obs_map
+
+    def _obs_actuator_state(self):
+        """The traced actuator columns ``(gate, cores, llc, dvfs, ceil)``.
+
+        A pure re-gather through the member-surface hook (so the mega
+        engine's array state reads through its own override), with the
+        ``_gathered_be_cores`` cache restored — the fleet drivers
+        record that cache as the tick's ``be_cores`` row, and tracing
+        must never perturb it.
+        """
+        saved = self._gathered_be_cores
+        (be_enabled, be_eff, _lc_ways, be_ways, dvfs_cap, _throttle,
+         be_ceil) = self._gather_actuator_state()
+        self._gathered_be_cores = saved
+        return (be_enabled, be_eff, np.where(be_enabled, be_ways, 0),
+                dvfs_cap, be_ceil)
+
+    def _obs_emit_decisions(self, pre, slo_fraction, load) -> None:
+        """Emit one event per actuator a controller changed this tick.
+
+        ``pre`` is the traced actuator tuple derived from the tick's
+        step-2 gather (post-chaos, pre-controller — chaos mutations
+        carry their own events); attached triggering signals are the
+        tick's observed SLO fraction and offered load.  Uncapped
+        DVFS/ceiling values (``inf``) are emitted as null.  The whole
+        tick goes out as one fused ``(5, N)`` delta append (see
+        :meth:`TraceSink.emit_actuator_deltas`) — array-shaped cost,
+        no per-event Python calls.
+        """
+        post = self._obs_actuator_state()
+        old = np.stack([np.asarray(column, dtype=np.float64)
+                        for column in pre])
+        new = np.stack([np.asarray(column, dtype=np.float64)
+                        for column in post])
+        self._obs_trace.emit_actuator_deltas(
+            self.time_s, self._obs_members(), old, new,
+            slo_fraction, load)
+
+    # ------------------------------------------------------------------
     # Chaos events (fault injection)
     # ------------------------------------------------------------------
     #
@@ -622,6 +703,9 @@ class BatchColocationSim:
                    else list(ev.members))
             if not idx:
                 continue
+            if self._obs_trace is not None:
+                trace_chaos_event(self._obs_trace, self.time_s, ev,
+                                  self._obs_members()[idx])
             if ev.action == "leaf_crash":
                 self._chaos_alive[idx] = False
             elif ev.action == "leaf_restart":
@@ -838,6 +922,8 @@ class BatchColocationSim:
         socket = spec.socket
 
         # -- 0. Chaos events (fire at tick start, before load eval) ---------
+        prof = self._obs_prof
+        mark = perf_counter() if prof is not None else 0.0
         if self._chaos is not None:
             self._chaos_apply()
             chaos_dead = ~self._chaos_alive
@@ -845,6 +931,10 @@ class BatchColocationSim:
                                                 < self._chaos_part_until)
         else:
             chaos_dead = chaos_parted = None
+        if prof is not None:
+            now = perf_counter()
+            prof.add("chaos", now - mark)
+            mark = now
 
         # -- 1. Offered load ------------------------------------------------
         load = self._offered_load()
@@ -861,6 +951,14 @@ class BatchColocationSim:
         # keep it readable so callers can collect controller grants
         # without a per-member property loop.
         self._gathered_be_cores = be_eff
+        pre_act = None
+        if self._obs_trace is not None:
+            # Copies, not views: the mega engine's gather returns its
+            # live actuator arrays, which controllers mutate in place —
+            # the pre-controller snapshot must not follow them.
+            pre_act = (np.array(be_enabled), np.array(be_eff),
+                       np.where(be_enabled, be_ways, 0),
+                       np.array(dvfs_cap), np.array(be_ceil))
 
         be_running = self._has_be & be_enabled & (be_eff > 0)
 
@@ -1027,6 +1125,10 @@ class BatchColocationSim:
         self._lc_net_list = None
 
         # -- 11. Member bookkeeping: monitors, history, controllers ---------
+        if prof is not None:
+            now = perf_counter()
+            prof.add("physics", now - mark)
+            mark = now
         be_norm = self._record_members(load, tail, be_units, be_running,
                                        dt_s)
         emu = load + be_norm
@@ -1070,8 +1172,16 @@ class BatchColocationSim:
             )
         if row is not None:
             self._store.append_tick(row)
+        if prof is not None:
+            now = perf_counter()
+            prof.add("telemetry", now - mark)
+            mark = now
 
         self._step_controllers()
+        if pre_act is not None:
+            self._obs_emit_decisions(pre_act, slo_fraction, load)
+        if prof is not None:
+            prof.add("controllers", perf_counter() - mark)
 
         self.time_s += dt_s
         return result

@@ -43,6 +43,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+import numpy as np
+
 #: Multiplier applied to a partitioned member's SLO to produce its
 #: pinned tail latency (requests time out far beyond the SLO).
 PARTITION_TAIL_SLO_MULT = 10.0
@@ -108,3 +110,20 @@ def sort_events(events) -> Tuple[ChaosEvent, ...]:
     for event in events:
         event.validate()
     return tuple(sorted(events, key=lambda e: e.at_s))
+
+
+def trace_chaos_event(sink, t_s: float, event: ChaosEvent,
+                      members) -> None:
+    """Record one fired event into a decision-trace sink.
+
+    ``members`` are the *global* (fleet-wide) indices the event
+    resolved against — one trace row per affected member, so the
+    merged trace is invariant under any shard partition (each shard
+    traces exactly the members it owns).  ``a`` carries the event
+    value (NaN for valueless actions) and ``b`` the scheduled
+    ``at_s``; ``t_s`` is the tick the event actually resolved on.
+    """
+    kind = "chaos_" + event.action
+    value = None if event.value is None else float(event.value)
+    sink.emit_block(float(t_s), np.asarray(members, dtype=np.int64),
+                    "chaos", kind, a=value, b=float(event.at_s))

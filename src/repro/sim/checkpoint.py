@@ -154,6 +154,45 @@ class EngineCheckpoint:
         return float(self.meta["time_s"])
 
 
+def trace_checkpoint_save(sink: Any, t_s: float, steps_done: int) -> None:
+    """Emit one run-scoped ``save`` event into a decision-trace sink.
+
+    Called with the sink that owns the run's trace (a fleet-level sink
+    for fleet snapshots, the engine's own for member scenarios) *before*
+    the archive is written, so a sink pickled inside the archive already
+    carries the event and a resumed run replays it identically.
+    ``member`` is ``-1`` (run-scoped, not tied to any leaf); ``a`` is
+    the completed tick count the snapshot holds.  No-op when ``sink``
+    is ``None`` (tracing disabled).
+    """
+    if sink is not None:
+        sink.emit(float(t_s), -1, "checkpoint", "save",
+                  a=float(steps_done))
+
+
+def _reconcile_obs(sim: Any) -> None:
+    """Align a restored engine's observability hooks with this process.
+
+    A checkpoint pickles whatever sink/profiler the saving run had.
+    The resuming process's environment decides what *this* run records:
+    tracing off here detaches a pickled sink (and its replayed events);
+    tracing on here attaches a fresh sink to an archive saved without
+    one (the trace then covers only the resumed ticks — full-run trace
+    equality needs tracing on in both runs).  Engines predating the
+    observability layer restore untouched via the class-attr defaults.
+    """
+    from ..obs.profile import make_profiler, profile_enabled
+    from ..obs.trace import make_sink, trace_enabled
+    if not trace_enabled():
+        sim._obs_trace = None
+    elif getattr(sim, "_obs_trace", None) is None:
+        sim._obs_trace = make_sink()
+    if not profile_enabled():
+        sim._obs_prof = None
+    elif getattr(sim, "_obs_prof", None) is None:
+        sim._obs_prof = make_profiler()
+
+
 def load_engine(path: str,
                 expect_kind: Optional[str] = None) -> EngineCheckpoint:
     """Restore an engine archive written by :func:`save_engine`.
@@ -161,7 +200,9 @@ def load_engine(path: str,
     Validates the format version and (when ``expect_kind`` is given)
     the engine family before unpickling, so a wrong file fails with a
     message naming the mismatch instead of an attribute error three
-    layers into the resumed run.
+    layers into the resumed run.  The restored engine's observability
+    hooks are reconciled with this process's ``REPRO_TRACE`` /
+    ``REPRO_PROFILE`` environment (see :func:`_reconcile_obs`).
     """
     if not os.path.exists(path) and os.path.exists(path + ".npz"):
         path += ".npz"
@@ -190,6 +231,7 @@ def load_engine(path: str,
         raise CheckpointError(
             f"{path}: holds a {kind!r} engine, expected {expect_kind!r}")
     sim = pickle.loads(blob)
+    _reconcile_obs(sim)
     return EngineCheckpoint(sim=sim, meta=meta, arrays=arrays)
 
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, Optional, Protocol
 
 import numpy as np
@@ -33,12 +34,14 @@ from ..hardware.power import SocketPowerModel
 from ..metrics.history import ColumnarHistory
 from ..hardware.server import Server, TaskUsage
 from ..hardware.spec import MachineSpec
+from ..obs.profile import make_profiler
+from ..obs.trace import make_sink
 from ..workloads.best_effort import (BestEffortWorkload,
                                      reference_throughput_units)
 from ..workloads.latency_critical import LatencyCriticalWorkload
 from ..workloads.traces import LoadTrace
 from .actuators import Actuators
-from .chaos import PARTITION_TAIL_SLO_MULT, sort_events
+from .chaos import PARTITION_TAIL_SLO_MULT, sort_events, trace_chaos_event
 from .monitors import LatencyMonitor, ThroughputMonitor
 
 
@@ -169,6 +172,11 @@ class ColocationSim:
         # own directory.
         self.history = SimHistory(spill_dir=spill_dir)
         self.controller: Optional[Controller] = None
+        # Observability (off by default: both stay None unless the
+        # REPRO_TRACE / REPRO_PROFILE env toggles are set, and the
+        # whole disabled path is these attributes' None checks).
+        self._obs_trace = make_sink()
+        self._obs_prof = make_profiler()
         if be is not None:
             reference = reference_throughput_units(be)
             self.be_monitor: Optional[ThroughputMonitor] = ThroughputMonitor(
@@ -209,6 +217,54 @@ class ColocationSim:
 
     #: Chaos schedule; None (the default) keeps every chaos branch cold.
     _chaos = None
+    #: Observability defaults (class-level, so engines restored from
+    #: pre-observability pickles keep working with everything off).
+    _obs_trace = None
+    _obs_prof = None
+    _obs_base = 0
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def obs_set_base(self, base: int) -> None:
+        """Set the *global* (fleet-wide) index of this sim's one member.
+
+        Trace events carry global member indices so merged traces are
+        invariant under any shard partition; a standalone sim keeps the
+        default base 0.
+        """
+        self._obs_base = int(base)
+
+    def _obs_actuator_state(self):
+        """The traced actuator tuple (pure reads, never perturbing)."""
+        act = self.actuators
+        return (bool(act.be_enabled), int(act.be_cores),
+                int(act.be_llc_ways), act.be_dvfs_cap_ghz,
+                act.be_net_ceil_gbps)
+
+    def _obs_emit_decisions(self, pre, record) -> None:
+        """Emit one event per actuator the controller changed this tick.
+
+        ``pre`` is the actuator tuple gathered before the controller
+        stepped (but after chaos resolution — chaos mutations carry
+        their own events); the triggering signals attached are the
+        tick's observed SLO fraction and offered load.
+        """
+        post = self._obs_actuator_state()
+        if post == pre:
+            return
+        sink = self._obs_trace
+        member = self._obs_base
+        t_s, slo, load = record.t_s, record.slo_fraction, record.load
+        for kind, old, new in zip(("be_gate", "cores", "llc", "dvfs",
+                                   "net_ceil"), pre, post):
+            if old is new or old == new:
+                continue
+            sink.emit(t_s, member, "controller", kind,
+                      a=(None if old is None else float(old)),
+                      b=(None if new is None else float(new)),
+                      slo=slo, load=load)
 
     def _chaos_apply(self) -> None:
         """Fire due events, then pin a crashed member's BE off."""
@@ -219,6 +275,9 @@ class ColocationSim:
             self._chaos_pos += 1
             if event.members is not None and not event.members:
                 continue
+            if self._obs_trace is not None:
+                trace_chaos_event(self._obs_trace, self.time_s, event,
+                                  (self._obs_base,))
             action = event.action
             if action == "leaf_crash":
                 self._chaos_alive = False
@@ -263,8 +322,16 @@ class ColocationSim:
         """Advance the simulation by one interval."""
         if dt_s <= 0:
             raise ValueError("dt must be positive")
+        prof = self._obs_prof
+        mark = perf_counter() if prof is not None else 0.0
         if self._chaos is not None:
             self._chaos_apply()
+        if prof is not None:
+            now = perf_counter()
+            prof.add("chaos", now - mark)
+            mark = now
+        pre_actuators = (self._obs_actuator_state()
+                         if self._obs_trace is not None else None)
         load = self.trace.clipped(self.time_s)
         chaos_parted = False
         if self._chaos is not None:
@@ -317,6 +384,10 @@ class ColocationSim:
             self.be_monitor.record(units * dt_s, dt_s)
             be_norm = self.be_monitor.last_normalized
 
+        if prof is not None:
+            now = perf_counter()
+            prof.add("physics", now - mark)
+            mark = now
         telemetry = self.server.telemetry
         if self._chaos is None:
             power_fraction = telemetry.power_fraction_of_tdp
@@ -347,9 +418,17 @@ class ColocationSim:
             link_utilization=link_util,
         )
         self.history.append(record)
+        if prof is not None:
+            now = perf_counter()
+            prof.add("telemetry", now - mark)
+            mark = now
 
         if self.controller is not None:
             self.controller.step(self.time_s)
+        if pre_actuators is not None:
+            self._obs_emit_decisions(pre_actuators, record)
+        if prof is not None:
+            prof.add("controllers", perf_counter() - mark)
 
         self.time_s += dt_s
         return record

@@ -865,6 +865,27 @@ class MegaFleetSim:
             if bucket["events"]:
                 sim.set_chaos_events(bucket["events"])
             self.groups.append((sim, bucket["spans"]))
+        self._set_member_maps()
+
+    def _set_member_maps(self) -> None:
+        """Stamp fleet-global member indices on every group sim.
+
+        Plan order defines the fleet-global leaf numbering (cluster
+        leaf ``j`` of plan ``i`` is global index ``sum(leaves[:i]) +
+        j``), matching the sharded path's ``ShardTask.member_base``
+        assignment — so decision-trace events merge shard-plan- and
+        engine-invariantly.  Cheap (one int64 array per group), so it
+        runs unconditionally and also re-stamps restored groups.
+        """
+        base, bases = 0, []
+        for plan in self.plans:
+            bases.append(base)
+            base += plan.leaves
+        for sim, spans in self.groups:
+            members = np.empty(sim.n, dtype=np.int64)
+            for index, lo, hi in spans:
+                members[lo:hi] = bases[index] + np.arange(hi - lo)
+            sim.obs_set_members(members)
 
     @staticmethod
     def group_archive(checkpoint_dir: str, group: int) -> str:
@@ -942,6 +963,10 @@ class MegaFleetSim:
                 # the checkpoint carries one row fewer; the resumed
                 # tick k rewrites row k - 1 from the restored state.
                 be_cores[:k - 1] = restored.arrays["be_cores"]
+        # Restored sims come back with whatever observability state the
+        # saving run pickled (load_engine reconciles the sinks with this
+        # process's environment); the global member maps are this run's.
+        self._set_member_maps()
         return k0 or 0
 
     def run(self, duration_s: float, dt_s: float = 1.0,
@@ -981,6 +1006,8 @@ class MegaFleetSim:
         k0 = 0
         if resume_from is not None:
             k0 = self._load_groups(resume_from, recs, steps, collect_be)
+        from ..obs.progress import make_heartbeat
+        heartbeat = make_heartbeat("fleet[mega]", steps)
         for k in range(k0, steps):
             for (sim, _), (times, tails, emus, be_norm, be_cores) in zip(
                     self.groups, recs):
@@ -1001,6 +1028,8 @@ class MegaFleetSim:
                         be_cores[k - 1] = sim._gathered_be_cores
             if k_save is not None and k + 1 == k_save:
                 self._save_groups(checkpoint_dir, k + 1, recs, collect_be)
+            if heartbeat is not None:
+                heartbeat.beat(k + 1)
         if steps and collect_be:
             for (sim, _), (times, tails, emus, be_norm, be_cores) in zip(
                     self.groups, recs):
@@ -1037,6 +1066,19 @@ class MegaFleetSim:
                     leaf_lo=0, leaf_hi=plan.leaves, times_s=times.copy(),
                     tails_ms=p_tails, emus=p_emus, summary=summary,
                     be_norm=p_be_norm, be_cores=p_be_cores)
+        # Observability rides on the first plan's result (the fleet
+        # layer merges payloads across all results, so placement is
+        # arbitrary; events already carry fleet-global member indices).
+        from ..obs.profile import merge_profiles
+        from ..obs.trace import concat_payloads
+        payloads = [sim._obs_trace.payload() for sim, _ in self.groups
+                    if sim._obs_trace is not None]
+        if payloads:
+            results[0].trace = concat_payloads(payloads)
+        profiles = [sim._obs_prof.as_dict() for sim, _ in self.groups
+                    if sim._obs_prof is not None]
+        if profiles:
+            results[0].profile = merge_profiles(profiles)
         return results
 
 

@@ -121,3 +121,9 @@ class TestResolveOut:
         names = [name for name, _, _ in bench_report.BENCHES]
         assert "checkpoint" in names
         assert "checkpoint" in bench_report.DETAIL_ENVS
+
+    def test_obs_bench_registered(self):
+        """The PR 10 observability benchmark is wired into the report."""
+        names = [name for name, _, _ in bench_report.BENCHES]
+        assert "obs" in names
+        assert bench_report.DETAIL_ENVS["obs"] == "REPRO_BENCH_OBS_OUT"

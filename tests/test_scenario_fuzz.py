@@ -22,7 +22,11 @@ equivalence contracts hold for every one of them:
 * the resume axis: for fleet-like shapes, a run that *writes* a
   mid-run checkpoint and a fresh run *resumed* from that checkpoint
   are both bit-identical to the straight run — across engine ∈
-  {sharded, mega} × ``REPRO_JOBS`` ∈ {1, 4}.
+  {sharded, mega} × ``REPRO_JOBS`` ∈ {1, 4};
+* the trace axis: enabling decision tracing (``REPRO_TRACE=1``)
+  leaves every simulated number bit-identical, and the merged trace
+  itself is byte-identical JSONL across engine × shard plan × worker
+  count.
 
 Profiles: ``REPRO_FUZZ_PROFILE=ci`` (the CI pin: 200 derandomized
 examples for the fleet matrix) or ``dev`` (default: a quick seeded
@@ -313,6 +317,53 @@ class TestResumeAxis:
                 assert_fleet_results_identical(
                     resumed, base, f"{what} (resumed run)",
                     spec.warmup_s)
+
+
+class TestTraceAxis:
+    """The observability leg of the matrix: for every generated
+    fleet/schedule scenario, (a) enabling decision tracing never
+    changes a simulated number — the traced run is bit-identical to
+    the untraced baseline — and (b) the merged trace itself is one
+    canonical stream: byte-identical JSONL across engine × shard plan
+    × worker count."""
+
+    VARIANTS = (
+        ("sharded jobs=1", {}, 1),
+        ("sharded shard=3 jobs=4", dict(engine="sharded",
+                                        shard_leaves=3), 4),
+        ("mega jobs=1", dict(engine="mega"), 1),
+    )
+
+    @settings(max_examples=10)
+    @given(spec=fleet_like_specs())
+    def test_trace_on_is_bit_identical_and_canonical(self, spec):
+        from repro.obs import TRACE_ENV, events_to_jsonl
+
+        spec.validate()
+        # The baseline must be untraced even when the suite itself runs
+        # under ambient REPRO_TRACE=1 (the CI tier1-trace leg).
+        saved = os.environ.pop(TRACE_ENV, None)
+        try:
+            base = run_with_jobs(spec, 1)
+            assert base.trace is None
+            os.environ[TRACE_ENV] = "1"
+            reference = None
+            for what, overrides, jobs in self.VARIANTS:
+                variant = with_fleet(spec, **overrides) \
+                    if overrides else spec
+                traced = run_with_jobs(variant, jobs)
+                assert_fleet_results_identical(
+                    traced, base, f"{what} (traced run)", spec.warmup_s)
+                text = events_to_jsonl(traced.trace)
+                if reference is None:
+                    reference = text
+                else:
+                    assert text == reference, f"{what}: trace diverged"
+        finally:
+            if saved is None:
+                os.environ.pop(TRACE_ENV, None)
+            else:
+                os.environ[TRACE_ENV] = saved
 
 
 class TestMemberScenarios:

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Run the perf-gating benchmarks and write the BENCH_PR9.json report.
+"""Run the perf-gating benchmarks and write the BENCH_PR10.json report.
 
-Usage: ``python tools/bench_report.py [--out BENCH_PR9.json] [--root DIR]``
+Usage: ``python tools/bench_report.py [--out BENCH_PR10.json] [--root DIR]``
 
 Runs the telemetry benchmark (``benchmarks/test_bench_metrics.py`` —
 history-memory and summary-speed gates), the batched-backend benchmark
@@ -12,9 +12,12 @@ the scheduler benchmark (``benchmarks/test_bench_sched.py`` —
 slack-greedy vs static goodput at equal SLO), and the mega-fleet
 benchmark (``benchmarks/test_bench_megafleet.py`` — mega-engine
 bit-identity to the sharded reference plus the sequential-path speedup
-gate), and the checkpoint/spill benchmark
+gate), the checkpoint/spill benchmark
 (``benchmarks/test_bench_checkpoint.py`` — the spilled-history peak-RSS
-gate plus checkpoint save/restore round-trip timing); the benchmarks
+gate plus checkpoint save/restore round-trip timing), and the
+observability benchmark (``benchmarks/test_bench_obs.py`` — the
+disabled-path and trace-on overhead gates on the 1000-leaf mega run,
+with the tick-phase breakdown); the benchmarks
 that emit measurement detail as JSON are merged in.  Each suite's wall time and pass/fail land in one report so CI can
 upload the perf trajectory as an artifact run over run.
 
@@ -55,6 +58,7 @@ BENCHES = (
      {"REPRO_JOBS": "1"}),
     ("checkpoint", "benchmarks/test_bench_checkpoint.py",
      {"REPRO_JOBS": "1"}),
+    ("obs", "benchmarks/test_bench_obs.py", {"REPRO_JOBS": "1"}),
 )
 
 #: Benchmarks that write a JSON measurement detail file, keyed by the
@@ -65,6 +69,7 @@ DETAIL_ENVS = {
     "sched": "REPRO_BENCH_SCHED_OUT",
     "megafleet": "REPRO_BENCH_MEGAFLEET_OUT",
     "checkpoint": "REPRO_BENCH_CHECKPOINT_OUT",
+    "obs": "REPRO_BENCH_OBS_OUT",
 }
 
 
@@ -144,10 +149,10 @@ def resolve_out(out: str, root: str) -> str:
 def main(argv=None) -> int:
     """Entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_PR9.json",
+    parser.add_argument("--out", default="BENCH_PR10.json",
                         help="report path; a relative path is anchored at "
                              "--root, not the caller's cwd (default: "
-                             "<root>/BENCH_PR9.json)")
+                             "<root>/BENCH_PR10.json)")
     parser.add_argument("--root", default=ROOT,
                         help="repository root the benchmarks and the "
                              "snapshot trajectory are read from "
@@ -157,7 +162,7 @@ def main(argv=None) -> int:
     root = os.path.abspath(args.root)
     out = resolve_out(args.out, root)
 
-    report = {"report": "BENCH_PR9", "benches": {}}
+    report = {"report": "BENCH_PR10", "benches": {}}
     with tempfile.TemporaryDirectory() as tmp:
         for name, path, env in BENCHES:
             extra = dict(env)

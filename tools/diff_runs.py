@@ -1,0 +1,386 @@
+#!/usr/bin/env python
+"""First-divergence explainer: where do two runs of one spec split?
+
+Usage::
+
+    python tools/diff_runs.py scenario SPEC.yaml \
+        [--engine-a sharded --engine-b mega] [--jobs-a 1 --jobs-b 4] \
+        [--shard-leaves-a N --shard-leaves-b N] [--context 5] [--json]
+    python tools/diff_runs.py trace A.jsonl B.jsonl
+
+``scenario`` mode runs one fleet- or schedule-shaped spec twice — under
+two engine/sharding/job-count configurations that the bit-identity
+contract says must agree — with per-tick slack collection
+(``slack_epoch_s = dt_s``) and decision tracing forced on.  It then
+reports the first (tick, column, member) where the runs disagree,
+together with the nearest preceding decision-trace events for that
+member, so a regression reads as "grant_cores for leaf 17 split at
+t=840 s, right after chaos disable_be fired there" instead of a bare
+summary mismatch.  Exit status: 0 when bit-identical, 1 on divergence.
+
+``trace`` mode diffs two merged decision-trace JSONL files (the
+``--trace`` CLI artifact) line by line and reports the first differing
+event — the canonical ordering makes byte comparison meaningful.
+
+The guts are importable (:func:`first_divergence`,
+:func:`fleet_columns`, :func:`nearest_events`) so tests can feed
+hand-built column dicts — e.g. a deliberately re-broken engine loop —
+through the same explainer the CLI uses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import sys
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.obs.trace import TRACE_ENV, iter_events, read_jsonl  # noqa: E402
+
+#: Slack-view fields compared per (tick, leaf) in scenario mode.
+SLACK_FIELDS = ("grant_cores", "harvest_core_s", "latched")
+#: Fleet-telemetry per-cluster fields compared per (record, cluster).
+TELEMETRY_FIELDS = ("load", "root_latency_ms", "root_slo_fraction", "emu")
+
+
+@dataclasses.dataclass
+class Divergence:
+    """The first point where two runs of one spec disagree.
+
+    Attributes:
+        tick: row index into the compared columns (epoch/record index).
+        t_s: simulated time of that row.
+        column: name of the first differing column (ties broken by
+            sorted column name, then member index).
+        member: member-axis index of the first differing entry, or
+            ``None`` for a shared (1-D) column.
+        value_a: run A's value at the divergence point.
+        value_b: run B's value at the divergence point.
+        context: nearest preceding decision-trace events for this
+            member (run-scoped ``member == -1`` events included),
+            newest last; empty when no trace was supplied.
+    """
+
+    tick: int
+    t_s: float
+    column: str
+    member: Optional[int]
+    value_a: float
+    value_b: float
+    context: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The divergence as a JSON-ready dict."""
+        return dataclasses.asdict(self)
+
+
+def _unequal(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise "really differs" mask: NaN == NaN, else exact."""
+    both_nan = np.isnan(a) & np.isnan(b)
+    return ~both_nan & ~(a == b)
+
+
+def nearest_events(trace: Mapping[str, np.ndarray], t_s: float,
+                   member: Optional[int] = None,
+                   count: int = 5,
+                   window: float = 0.0) -> List[Dict[str, Any]]:
+    """The last ``count`` trace events at or before ``t_s + window``.
+
+    When ``member`` is given, only that member's events plus run-scoped
+    (``member == -1``) events qualify — the events most likely to have
+    *caused* a per-member divergence.  Events arrive in canonical
+    (time-major) order, so "nearest preceding" is just the tail of the
+    filtered prefix.  ``window`` extends the cutoff past the row's own
+    timestamp: a slack row stamped at its epoch *start* is written by
+    the *next* tick's actuator gather (the one-tick lag contract), so
+    its triggering event can carry a timestamp up to one epoch later.
+    """
+    picked: List[Dict[str, Any]] = []
+    for event in iter_events(trace):
+        if event["t_s"] > t_s + window + 1e-9:
+            break
+        if member is None or event["member"] in (member, -1):
+            picked.append(event)
+    return picked[-count:]
+
+
+def first_divergence(times_s: np.ndarray,
+                     cols_a: Mapping[str, np.ndarray],
+                     cols_b: Mapping[str, np.ndarray],
+                     trace: Optional[Mapping[str, np.ndarray]] = None,
+                     context: int = 5,
+                     window: float = 0.0) -> Optional[Divergence]:
+    """Find the earliest (tick, column, member) where two runs split.
+
+    Args:
+        times_s: (T,) shared row clock for every compared column.
+        cols_a: run A's columns, each (T,) or (T, N) — named arrays.
+        cols_b: run B's columns over the same names and shapes.
+        trace: optional merged decision-trace payload used to attach
+            explanatory context events to the divergence.
+        context: how many preceding trace events to attach.
+        window: context-event lookahead past the divergent row's
+            timestamp (see :func:`nearest_events`); pass the row span
+            when rows are stamped at their *start*.
+
+    Returns:
+        The minimal divergence under (tick, column name, member)
+        ordering, or ``None`` when every column is bit-identical.
+
+    Raises:
+        ValueError: column names or shapes differ between the runs —
+            that is a structural mismatch, not a numeric divergence.
+    """
+    if sorted(cols_a) != sorted(cols_b):
+        raise ValueError(f"column sets differ: {sorted(cols_a)} vs "
+                         f"{sorted(cols_b)}")
+    best: Optional[Tuple[int, str, int]] = None
+    best_vals = (np.nan, np.nan)
+    best_shared = False
+    for name in sorted(cols_a):
+        a = np.asarray(cols_a[name], dtype=float)
+        b = np.asarray(cols_b[name], dtype=float)
+        if a.shape != b.shape:
+            raise ValueError(f"column {name!r}: shape {a.shape} vs "
+                             f"{b.shape}")
+        shared = a.ndim == 1
+        if shared:
+            a = a[:, None]
+            b = b[:, None]
+        mask = _unequal(a, b)
+        rows = mask.any(axis=1)
+        if not rows.any():
+            continue
+        tick = int(np.argmax(rows))
+        member = int(np.argmax(mask[tick]))
+        key = (tick, name, member)
+        if best is None or key < best:
+            best = key
+            best_vals = (float(a[tick, member]), float(b[tick, member]))
+            best_shared = shared
+    if best is None:
+        return None
+    tick, name, member = best
+    t_s = float(np.asarray(times_s, dtype=float)[tick])
+    events: List[Dict[str, Any]] = []
+    if trace is not None:
+        events = nearest_events(trace, t_s,
+                                member=None if best_shared else member,
+                                count=context, window=window)
+    return Divergence(tick=tick, t_s=t_s, column=name,
+                      member=None if best_shared else member,
+                      value_a=best_vals[0], value_b=best_vals[1],
+                      context=events)
+
+
+def fleet_columns(result) -> List[Tuple[str, np.ndarray,
+                                        Dict[str, np.ndarray], float]]:
+    """Comparable column groups from a :class:`FleetResult`.
+
+    Returns ``(group, times_s, columns, window)`` tuples — the per-leaf
+    slack view (when the run collected it) on the epoch clock, and the
+    per-cluster fleet telemetry on the record clock.  Groups keep their
+    own clocks; the caller diffs each group independently and reports
+    the earliest hit.  ``window`` is the context-event lookahead for
+    that group: slack rows are stamped at their epoch *start* but
+    written by the next tick's gather, so their triggering event can
+    sit one epoch past the row timestamp.
+    """
+    groups: List[Tuple[str, np.ndarray, Dict[str, np.ndarray], float]] = []
+    slack = result.slack
+    if slack is not None:
+        cols = {name: np.asarray(getattr(slack, name), dtype=float)
+                for name in SLACK_FIELDS}
+        epoch_len = np.asarray(slack.epoch_len_s, dtype=float)
+        window = float(epoch_len.flat[0]) if epoch_len.size else 0.0
+        groups.append(("slack", np.asarray(slack.epoch_t_s, dtype=float),
+                       cols, window))
+    telemetry = result.telemetry
+    cols = {name: telemetry.column(name) for name in TELEMETRY_FIELDS}
+    for name in telemetry.FLEET_FIELDS:
+        cols[name] = telemetry.fleet_column(name)
+    groups.append(("telemetry", telemetry.times(), cols, 0.0))
+    return groups
+
+
+def _member_label(result, group: str, member: Optional[int]) -> str:
+    """Human label for a divergent member index within a group."""
+    if member is None:
+        return "(fleet-wide)"
+    if group == "slack" and result.slack is not None:
+        slack = result.slack
+        cluster = slack.cluster_names[int(slack.leaf_cluster[member])]
+        return f"(cluster {cluster!r})"
+    if group == "telemetry":
+        return f"(cluster {result.telemetry.cluster_names[member]!r})"
+    return ""
+
+
+def _format_event(event: Mapping[str, Any]) -> str:
+    """One trace event as a compact single-line summary."""
+    parts = [f"t={event['t_s']:g}s", f"{event['source']}/{event['kind']}",
+             f"member={event['member']}"]
+    for field in ("a", "b", "slo", "load"):
+        value = event.get(field)
+        if value is not None and not (isinstance(value, float)
+                                      and np.isnan(value)):
+            parts.append(f"{field}={value:g}")
+    return " ".join(parts)
+
+
+def _fleet_spec_of(spec):
+    """The FleetSpec inside a fleet- or schedule-shaped scenario."""
+    if spec.fleet is not None:
+        return spec.fleet
+    if spec.schedule is not None:
+        return spec.schedule.fleet
+    raise SystemExit("diff_runs: scenario mode needs a fleet- or "
+                     "schedule-shaped spec")
+
+
+def _run_variant(spec, engine: Optional[str], shard_leaves: Optional[int],
+                 jobs: Optional[int]):
+    """One traced per-tick-slack fleet run under a config override."""
+    from repro.scenarios.compiler import compile_scenario
+    from repro.sim.runner import JOBS_ENV
+
+    fleet_spec = _fleet_spec_of(spec)
+    overrides: Dict[str, Any] = {}
+    if engine is not None:
+        overrides["engine"] = engine
+    if shard_leaves is not None:
+        overrides["shard_leaves"] = shard_leaves
+    if overrides:
+        fleet_spec = dataclasses.replace(fleet_spec, **overrides)
+    saved = os.environ.get(JOBS_ENV)
+    if jobs is not None:
+        os.environ[JOBS_ENV] = str(jobs)
+    try:
+        fleet = compile_scenario(spec)._build_fleet(fleet_spec)
+        return fleet.run(spec.duration_s, dt_s=spec.dt_s,
+                         slack_epoch_s=spec.dt_s)
+    finally:
+        if jobs is not None:
+            if saved is None:
+                os.environ.pop(JOBS_ENV, None)
+            else:
+                os.environ[JOBS_ENV] = saved
+
+
+def _scenario_mode(args) -> int:
+    """Run the spec twice and explain the first divergence, if any."""
+    from repro.scenarios import load_scenario
+
+    spec = load_scenario(args.spec)
+    spec.validate()
+    os.environ[TRACE_ENV] = "1"
+    result_a = _run_variant(spec, args.engine_a, args.shard_leaves_a,
+                            args.jobs_a)
+    result_b = _run_variant(spec, args.engine_b, args.shard_leaves_b,
+                            args.jobs_b)
+    hits: List[Tuple[str, Divergence]] = []
+    groups_b = {group: (times, cols)
+                for group, times, cols, _ in fleet_columns(result_b)}
+    compared = 0
+    for group, times, cols, window in fleet_columns(result_a):
+        times_b, cols_b = groups_b[group]
+        if not np.array_equal(times, times_b):
+            raise SystemExit(f"diff_runs: {group} clocks differ between "
+                             "runs — specs are not comparable")
+        compared += len(cols)
+        hit = first_divergence(times, cols, cols_b,
+                               trace=result_a.trace, context=args.context,
+                               window=window)
+        if hit is not None:
+            hits.append((group, hit))
+    if not hits:
+        if args.json:
+            print(json.dumps({"diverged": False,
+                              "columns_compared": compared},
+                             sort_keys=True))
+        else:
+            print(f"no divergence: {compared} columns bit-identical")
+        return 0
+    group, div = min(hits, key=lambda pair: (pair[1].t_s, pair[0]))
+    if args.json:
+        doc = {"diverged": True, "group": group, **div.to_dict()}
+        print(json.dumps(doc, sort_keys=True))
+        return 1
+    where = f"member {div.member}" if div.member is not None else "shared"
+    label = _member_label(result_a, group, div.member)
+    print(f"runs diverge at t={div.t_s:g}s (tick {div.tick}): "
+          f"{group} column {div.column!r} {where} {label}: "
+          f"a={div.value_a:g} b={div.value_b:g}")
+    if div.context:
+        print("nearest preceding trace events:")
+        for event in div.context:
+            print(f"  {_format_event(event)}")
+    else:
+        print("no trace events at or before the divergence")
+    return 1
+
+
+def _trace_mode(args) -> int:
+    """Diff two canonical trace JSONL files event by event."""
+    events_a = read_jsonl(args.trace_a)
+    events_b = read_jsonl(args.trace_b)
+    for index, (ev_a, ev_b) in enumerate(zip(events_a, events_b)):
+        if ev_a != ev_b:
+            print(f"traces diverge at event {index}:")
+            print(f"  a: {_format_event(ev_a)}")
+            print(f"  b: {_format_event(ev_b)}")
+            return 1
+    if len(events_a) != len(events_b):
+        short, extra = (("a", events_b) if len(events_a) < len(events_b)
+                        else ("b", events_a))
+        index = min(len(events_a), len(events_b))
+        print(f"trace {short} ends early at event {index}; "
+              f"other continues with:")
+        print(f"  {_format_event(extra[index])}")
+        return 1
+    print(f"traces identical: {len(events_a)} events")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="first-divergence explainer for paired runs")
+    sub = parser.add_subparsers(dest="mode", required=True)
+    scenario = sub.add_parser(
+        "scenario", help="run one spec twice and diff per-tick columns")
+    scenario.add_argument("spec", help="fleet/schedule-shaped spec file")
+    scenario.add_argument("--engine-a", default=None,
+                          help="fleet engine for run A (sharded|mega)")
+    scenario.add_argument("--engine-b", default=None,
+                          help="fleet engine for run B (sharded|mega)")
+    scenario.add_argument("--shard-leaves-a", type=int, default=None,
+                          help="shard width override for run A")
+    scenario.add_argument("--shard-leaves-b", type=int, default=None,
+                          help="shard width override for run B")
+    scenario.add_argument("--jobs-a", type=int, default=None,
+                          help="REPRO_JOBS for run A")
+    scenario.add_argument("--jobs-b", type=int, default=None,
+                          help="REPRO_JOBS for run B")
+    scenario.add_argument("--context", type=int, default=5,
+                          help="trace events to attach (default 5)")
+    scenario.add_argument("--json", action="store_true",
+                          help="machine-readable one-line JSON verdict")
+    trace = sub.add_parser(
+        "trace", help="diff two canonical --trace JSONL files")
+    trace.add_argument("trace_a", help="first trace JSONL file")
+    trace.add_argument("trace_b", help="second trace JSONL file")
+    args = parser.parse_args(argv)
+    if args.mode == "scenario":
+        return _scenario_mode(args)
+    return _trace_mode(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,8 +18,15 @@ contracts on every one:
 The pinned 200-example matrix runs in CI via
 ``tests/test_scenario_fuzz.py``; this tool exists for long soaks
 (``--examples 1000`` in the manual-dispatch workflow) and for
-reproducing a failure: the offending spec is printed with the seed and
-example index, so ``--seed S --examples K`` replays it exactly.
+reproducing a failure.  On the first divergence the offending spec is
+written verbatim (via :meth:`ScenarioSpec.to_data`) to a
+``fuzz-fail-seed<S>-ex<K>.json`` replay file and the tool prints the
+one command that re-checks exactly that scenario::
+
+    python tools/fuzz_scenarios.py --replay fuzz-fail-seed0-ex37.json
+
+``--replay`` accepts any scenario file ``load_scenario`` can read, so
+a hand-minimised copy of the replay file works too.
 
 Exits non-zero on the first divergence.
 """
@@ -222,6 +229,46 @@ def check_members(spec: ScenarioSpec) -> None:
                                  f"diverged") from exc
 
 
+def check_spec(spec) -> None:
+    """Dispatch one spec to the check its shape belongs to."""
+    spec.validate()
+    if spec.members:
+        check_members(spec)
+    else:
+        check_fleet_like(spec)
+
+
+def write_fail_file(spec, seed: int, index: int) -> str:
+    """Persist a failing spec as a replayable scenario file.
+
+    The file is plain ``ScenarioSpec.to_data()`` JSON — loadable by
+    ``load_scenario`` and therefore by ``--replay`` — so a soak failure
+    survives as an artifact instead of a scrollback ``repr``.
+    """
+    import json
+
+    path = f"fuzz-fail-seed{seed}-ex{index}.json"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(spec.to_data(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def replay(path: str) -> int:
+    """Re-check one saved scenario file; 0 on pass, 1 on divergence."""
+    from repro.scenarios import load_scenario
+
+    spec = load_scenario(path)
+    try:
+        check_spec(spec)
+    except Exception as exc:
+        print(f"FAIL replaying {path}: {exc}", file=sys.stderr)
+        print(f"spec: {spec!r}", file=sys.stderr)
+        return 1
+    print(f"OK: {path} replayed clean")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="seeded scenario-fuzz soak (engine bit-identity)")
@@ -232,7 +279,12 @@ def main(argv=None) -> int:
     parser.add_argument("--shape", choices=("all", "fleet", "members"),
                         default="all",
                         help="restrict the generated scenario shapes")
+    parser.add_argument("--replay", metavar="FILE", default=None,
+                        help="re-check one saved scenario file instead "
+                             "of generating new ones")
     args = parser.parse_args(argv)
+    if args.replay is not None:
+        return replay(args.replay)
 
     rng = random.Random(args.seed)
     started = time.time()
@@ -245,15 +297,14 @@ def main(argv=None) -> int:
             fleet_like = rng.random() < 0.7
         spec = gen_fleet_like(rng) if fleet_like else gen_members(rng)
         try:
-            spec.validate()
-            if fleet_like:
-                check_fleet_like(spec)
-            else:
-                check_members(spec)
+            check_spec(spec)
         except Exception as exc:
             print(f"FAIL at example {index} (seed {args.seed}): {exc}",
                   file=sys.stderr)
-            print(f"spec: {spec!r}", file=sys.stderr)
+            fail_path = write_fail_file(spec, args.seed, index)
+            print(f"spec saved to {fail_path}; reproduce with:\n"
+                  f"  python tools/fuzz_scenarios.py --replay {fail_path}",
+                  file=sys.stderr)
             return 1
         if (index + 1) % 25 == 0 or index + 1 == args.examples:
             rate = (index + 1) / (time.time() - started)
